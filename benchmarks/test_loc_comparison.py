@@ -1,0 +1,70 @@
+"""Section 5: lines-of-code comparison for the side-effect analysis.
+
+The paper: "the Java version of the side-effect analysis consists of
+803 non-comment lines of code, mostly implementing data structures to
+compactly represent the large, highly redundant sets of side effects.
+In contrast, the Jedd version is only 124 lines."
+
+The reproduction compares the Jedd source of the side-effect module
+against the naive (plain data structure) Python implementation and the
+whole supporting relational machinery it replaces.  The shape to hold:
+the Jedd program is several times shorter than an implementation that
+manages the sets by hand.
+"""
+
+import inspect
+
+from repro.analyses import sideeffects as sideeffects_module
+from repro.analyses.jedd_sources import SIDEEFFECTS_BODY, sideeffects_source
+from repro.jedd.compiler import compile_source
+
+
+def _code_lines(text: str) -> int:
+    """Non-comment, non-blank, non-docstring lines."""
+    count = 0
+    in_docstring = False
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if in_docstring:
+            if '"""' in line or "'''" in line:
+                in_docstring = False
+            continue
+        if line.startswith('"""') or line.startswith("'''"):
+            quote = line[:3]
+            if line.count(quote) == 1:  # opening without closing
+                in_docstring = True
+            continue
+        if line.startswith("#") or line.startswith("//"):
+            continue
+        count += 1
+    return count
+
+
+def test_loc_comparison():
+    jedd_loc = _code_lines(SIDEEFFECTS_BODY)
+    naive_loc = _code_lines(
+        inspect.getsource(sideeffects_module.naive_side_effects)
+    )
+    bdd_class_loc = _code_lines(
+        inspect.getsource(sideeffects_module.SideEffects)
+    )
+    print()
+    print("Lines-of-code comparison (paper: 803 plain Java vs 124 Jedd)")
+    print(f"  Jedd source of side-effect module : {jedd_loc:4d} lines")
+    print(f"  plain-Python (naive sets) version : {naive_loc:4d} lines")
+    print(f"  relational-API Python version     : {bdd_class_loc:4d} lines")
+    # Shape: the Jedd program is the most compact formulation.
+    assert jedd_loc < naive_loc
+    assert jedd_loc < bdd_class_loc
+    # And it is a real program: it compiles with a valid assignment.
+    compiled = compile_source(sideeffects_source())
+    assert compiled.assignment.node_domains
+
+
+def test_compile_sideeffects_benchmark(benchmark):
+    """Time compiling the 124-line-class module through jeddc."""
+    source = sideeffects_source()
+    compiled = benchmark(lambda: compile_source(source))
+    assert compiled.stats["relation_exprs"] > 0

@@ -1,0 +1,80 @@
+"""Section 4.3: the profiler's views and its recording overhead.
+
+The paper's profiler records, per relational operation, the number of
+executions, total time, and the size/shape of the BDDs involved, and
+serves three view levels over HTTP.  This benchmark exercises the same
+pipeline -- record a points-to run, persist to SQLite, render the HTML
+views -- and measures the recording overhead, which must stay small
+enough that profiled runs remain practical (the paper's profiler is
+switched on routinely during tuning).
+"""
+
+import os
+import time
+
+from repro.analyses import AnalysisUniverse, PointsTo, preset
+from repro.profiler import Profiler, generate_report, load_summary, save_events
+
+
+def test_profile_views(tmp_path):
+    facts = preset("compress")
+    au = AnalysisUniverse(facts)
+    with Profiler() as prof:
+        PointsTo(au).solve()
+    assert prof.events
+    db = str(tmp_path / "profile.db")
+    save_events(db, prof.events)
+    out = str(tmp_path / "html")
+    index = generate_report(db, out)
+    files = os.listdir(out)
+    print()
+    print("profiler overview (operation, executions, total s, max nodes):")
+    for row in load_summary(db):
+        print("  ", row)
+    print(f"report: {len(files)} HTML files under {out}")
+    assert os.path.exists(index)
+    # all three view levels exist
+    assert any(f.startswith("op_") for f in files)
+    assert any(f.startswith("shape_") for f in files)
+
+
+def test_profiling_overhead():
+    """Profiled runs must stay within a practical factor of unprofiled."""
+    facts = preset("javac")
+
+    def run():
+        au = AnalysisUniverse(facts)
+        PointsTo(au).solve()
+
+    def best_of(f, n=3):
+        best = float("inf")
+        for _ in range(n):
+            t0 = time.perf_counter()
+            f()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    plain = best_of(run)
+    prof = Profiler(record_shapes=False)
+    prof.install()
+    try:
+        profiled = best_of(run)
+    finally:
+        prof.uninstall()
+    print(f"\nunprofiled {plain:.4f}s, profiled {profiled:.4f}s "
+          f"({100 * (profiled - plain) / plain:.0f}% overhead)")
+    assert profiled < plain * 5 + 0.1
+
+
+def test_profiler_benchmark(benchmark):
+    """Benchmark a profiled points-to run (the tuning workflow)."""
+    facts = preset("javac-s")
+
+    def run():
+        au = AnalysisUniverse(facts)
+        with Profiler(record_shapes=True) as prof:
+            PointsTo(au).solve()
+        return len(prof.events)
+
+    events = benchmark(run)
+    assert events > 0

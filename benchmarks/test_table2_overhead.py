@@ -1,0 +1,112 @@
+"""Table 2: running time of hand-coded vs Jedd points-to analysis.
+
+The paper times the hand-written C++ points-to solver of [5] against
+the Jedd version of the same algorithm, both over BuDDy, on five
+benchmarks (javac-s 3.3s/3.5s, compress 22.3s/22.4s, javac 25.6s/26.3s,
+sablecc 25.8s/26.1s, jedit 39.8s/41.3s), reporting 0.5%-4% overhead.
+
+Here the hand-coded baseline is ``LowLevelPointsTo`` (direct BDD-manager
+calls, hand-assigned physical domains, manual reference counting) and
+the Jedd version is the same algorithm through the relational layer, as
+jeddc-generated code uses it.  Both run on the identical BDD engine,
+so the measured quantity is exactly the abstraction overhead the paper
+reports.  The shape to reproduce: both versions compute identical
+results, run times are close (the Jedd version within a small factor),
+and larger benchmarks take longer.
+"""
+
+import time
+
+import pytest
+
+from repro.analyses import (
+    AnalysisUniverse,
+    LowLevelPointsTo,
+    PointsTo,
+    preset,
+)
+from repro.analyses.facts import PRESETS
+
+BENCHMARKS = ["javac-s", "compress", "javac", "sablecc", "jedit"]
+
+
+def _time(callable_, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_table2_all_rows():
+    """Regenerate Table 2: per benchmark, baseline vs Jedd time."""
+    print()
+    print("Table 2: Running time, hand-coded low-level vs Jedd version")
+    print(f"{'Benchmark':10s} {'Low-level(s)':>13s} {'Jedd(s)':>9s} "
+          f"{'Overhead':>9s}")
+    lowlevel_times = {}
+    jedd_times = {}
+    for name in BENCHMARKS:
+        facts = preset(name)
+
+        def run_lowlevel():
+            solver = LowLevelPointsTo(facts)
+            solver.solve()
+            return solver
+
+        def run_jedd():
+            au = AnalysisUniverse(facts)
+            solver = PointsTo(au)
+            solver.solve()
+            return solver
+
+        t_low = _time(run_lowlevel)
+        t_jedd = _time(run_jedd)
+        lowlevel_times[name] = t_low
+        jedd_times[name] = t_jedd
+        overhead = 100.0 * (t_jedd - t_low) / t_low
+        print(f"{name:10s} {t_low:13.4f} {t_jedd:9.4f} {overhead:8.1f}%")
+        # identical results
+        low = LowLevelPointsTo(facts)
+        low.solve()
+        au = AnalysisUniverse(facts)
+        high = PointsTo(au)
+        high.solve()
+        assert low.pt_tuples() == set(high.pt.tuples())
+    # Shape: the Jedd version is never more than ~2x the hand-coded one
+    # (the paper reports single-digit percent; pure-Python bookkeeping
+    # costs more than a JVM's presence, but both must stay same-order).
+    for name in BENCHMARKS:
+        assert jedd_times[name] < 2.5 * lowlevel_times[name] + 0.05
+    # Shape: bigger benchmarks cost more (monotone up the suite ends).
+    assert jedd_times["jedit"] > jedd_times["javac-s"]
+
+
+@pytest.mark.parametrize("name", ["javac-s", "javac", "jedit"])
+def test_lowlevel_benchmark(benchmark, name):
+    """pytest-benchmark series for the hand-coded baseline."""
+    facts = preset(name)
+
+    def run():
+        solver = LowLevelPointsTo(facts)
+        solver.solve()
+        return solver.iterations
+
+    iterations = benchmark(run)
+    assert iterations >= 1
+
+
+@pytest.mark.parametrize("name", ["javac-s", "javac", "jedit"])
+def test_jedd_benchmark(benchmark, name):
+    """pytest-benchmark series for the Jedd relational version."""
+    facts = preset(name)
+
+    def run():
+        au = AnalysisUniverse(facts)
+        solver = PointsTo(au)
+        solver.solve()
+        return solver.iterations
+
+    iterations = benchmark(run)
+    assert iterations >= 1

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""A scripted session of the interactive relational shell.
+
+Related work (section 6.2 of the paper) mentions interactive BDD
+environments such as IBEN; `python -m repro.shell` provides the same
+kind of tool at Jedd's relational level of abstraction.  This example
+drives it with a scripted class-hierarchy session.
+
+Run:  python examples/relational_shell_session.py
+      python -m repro.shell          # the same thing, interactively
+"""
+
+from repro.shell import run_script
+
+SESSION = [
+    "domain Type 64",
+    "attribute subtype : Type",
+    "attribute supertype : Type",
+    "attribute tgttype : Type",
+    "physdom T1 6",
+    "physdom T2 6",
+    "physdom T3 6",
+    "finalize",
+    "# the immediate-superclass relation",
+    "rel extend subtype:T1 supertype:T2",
+    "insert extend B A",
+    "insert extend C B",
+    "insert extend D B",
+    "print extend",
+    "# grandparents: compose extend with itself",
+    "let up2 = extend{supertype} <> "
+    "((subtype=>supertype) (supertype=>tgttype) extend){supertype}",
+    "print up2",
+    "size up2",
+    "nodes extend",
+    "list",
+]
+
+
+def main() -> None:
+    for line in SESSION:
+        print(f"jedd> {line}")
+        run_shell_line(line)
+
+
+_shell = None
+
+
+def run_shell_line(line: str) -> None:
+    global _shell
+    if _shell is None:
+        from repro.shell import RelationalShell
+
+        _shell = RelationalShell()
+    if line.strip() and not line.strip().startswith("#"):
+        _shell.onecmd(line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Figure 4: virtual call resolution, as Jedd source, end to end.
+
+Reproduces the paper's worked example exactly: classes A and B where
+``A`` declares ``foo()``, ``B`` extends ``A`` and declares ``bar()``,
+and both ``foo()`` and ``bar()`` are called on a receiver of type B.
+The expected answer (Figures 4(c) and 4(g) combined) is::
+
+    B.foo() resolves to A.foo()   (found one level up the hierarchy)
+    B.bar() resolves to B.bar()   (found immediately)
+
+Run:  python examples/virtual_call_resolution.py
+"""
+
+from repro.jedd import compile_source, generate
+
+FIGURE4 = """
+domain Type 16;
+domain Signature 16;
+domain Method 16;
+attribute rectype : Type;
+attribute signature : Signature;
+attribute tgttype : Type;
+attribute method : Method;
+attribute subtype : Type;
+attribute supertype : Type;
+attribute type : Type;
+physdom T1 4;
+physdom T2 4;
+physdom T3 4;
+physdom S1 4;
+physdom M1 4;
+
+<type:T1, signature:S1, method:M1> declaresMethod;
+<rectype, signature, tgttype, method> answer = 0B;
+
+def resolve(<rectype:T1, signature:S1> receiverTypes,
+            <subtype:T2, supertype:T3> extend) {
+  // line 3: save a copy of the receiver type to walk up from
+  <rectype, signature, tgttype> toResolve =
+      (rectype => rectype tgttype) receiverTypes;
+  do {
+    // line 7: does the current class implement the signature?
+    <rectype:T1, signature:S1, tgttype:T2, method:M1> resolved =
+      toResolve{tgttype, signature} >< declaresMethod{type, signature};
+    answer |= resolved;                       // line 8
+    toResolve -= (method=>) resolved;         // line 9
+    // line 10: move up the class hierarchy
+    toResolve = (supertype=>tgttype)
+        (toResolve{tgttype} <> extend{subtype});
+  } while (toResolve != 0B);                  // line 11
+}
+"""
+
+
+def main() -> None:
+    program = compile_source(FIGURE4)
+    print("compiled Figure 4; SAT assignment took "
+          f"{program.stats['solve_seconds'] * 1000:.1f} ms "
+          f"({program.stats['sat_clauses']} clauses)")
+
+    interp = program.interpreter()
+    # Figure 3's declaresMethod and Figure 4(d)'s extend relation.
+    interp.set_global(
+        "declaresMethod",
+        interp.relation_of(
+            ["type", "signature", "method"],
+            [("A", "foo()", "A.foo()"), ("B", "bar()", "B.bar()")],
+        ),
+    )
+    receivers = interp.relation_of(
+        ["rectype", "signature"], [("B", "foo()"), ("B", "bar()")]
+    )
+    extend = interp.relation_of(["subtype", "supertype"], [("B", "A")])
+
+    print("\nreceiverTypes (Figure 4(a)):")
+    print(receivers)
+    print("\nextend (Figure 4(d)):")
+    print(extend)
+
+    interp.call("resolve", receivers, extend)
+
+    print("\nanswer (Figures 4(c) + 4(g)):")
+    print(interp.global_relation("answer"))
+
+    print(f"\nreplace operations executed: {len(interp.replace_log)}")
+
+    # The same program as jeddc-generated Python (the paper's .java):
+    code = generate(program.tp, program.assignment)
+    print(f"\ngenerated code: {len(code.splitlines())} lines; first lines:")
+    for line in code.splitlines()[:6]:
+        print("   ", line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro: a reproduction of "Jedd: A BDD-based Relational Extension of
+Java" (Lhotak & Hendren, PLDI 2004).
+
+The package mirrors the paper's system (Figure 1):
+
+- ``repro.bdd``       -- BDD/ZDD engines (the BuDDy/CUDD substitute)
+- ``repro.sat``       -- CDCL SAT solver with unsat cores (zchaff's role)
+- ``repro.relations`` -- the Jedd runtime: typed relations over diagrams
+- ``repro.jedd``      -- the language: parser, Figure 6 type checker,
+                          SAT-based physical domain assignment, codegen,
+                          interpreter (the jeddc compiler)
+- ``repro.profiler``  -- operation recording, SQL storage, HTML views
+- ``repro.analyses``  -- the five whole-program analyses of section 5
+
+Quick start::
+
+    from repro.relations import Relation, Universe
+
+    u = Universe()
+    ty = u.domain("Type", 64)
+    u.attribute("subtype", ty)
+    u.attribute("supertype", ty)
+    u.physical_domain("T1", ty.bits)
+    u.physical_domain("T2", ty.bits)
+    u.finalize()
+    extend = Relation.from_tuples(
+        u, ["subtype", "supertype"], [("B", "A")], ["T1", "T2"])
+
+or compile Jedd source directly::
+
+    from repro.jedd import compile_source
+    program = compile_source(open("analysis.jedd").read())
+    interp = program.interpreter()
+"""
+
+__version__ = "1.0.0"
+
+from repro.jedd import compile_source
+from repro.relations import Relation, RelationContainer, Universe
+
+__all__ = ["Relation", "RelationContainer", "Universe", "compile_source", "__version__"]

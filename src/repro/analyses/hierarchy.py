@@ -1,0 +1,60 @@
+"""Hierarchy analysis (Figure 2's Hierarchy module).
+
+Computes the subtype relation -- the reflexive-transitive closure of the
+immediate-superclass (``extend``) relation -- which the other analyses
+consume.  The BDD version iterates a compose to a fixpoint; the naive
+version walks ancestor chains and is used as the test oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from repro.analyses.facts import ProgramFacts
+from repro.analyses.universe import AnalysisUniverse
+from repro.relations import Relation
+
+__all__ = ["Hierarchy", "naive_subtypes"]
+
+
+class Hierarchy:
+    """BDD-based hierarchy information over an analysis universe."""
+
+    def __init__(self, au: AnalysisUniverse) -> None:
+        self.au = au
+        self.extend = au.extend()
+        self.subtype = self._closure()
+
+    def _closure(self) -> Relation:
+        """Reflexive-transitive closure of ``extend``.
+
+        ``subtype(sub, sup)`` holds when ``sub`` is ``sup`` or a
+        (transitive) subclass of it.
+        """
+        au = self.au
+        # Reflexive seed: every known class is its own subtype.
+        classes = [(c, c) for c in au.facts.classes]
+        closure = au.rel(["subtype", "supertype"], classes, ["T1", "T2"])
+        closure = closure | self.extend
+        while True:
+            # one step up: subtype o extend
+            step = closure.compose(
+                self.extend.rename(
+                    {"subtype": "supertype", "supertype": "tgttype"}
+                ),
+                ["supertype"],
+                ["supertype"],
+            ).rename({"tgttype": "supertype"})
+            new = closure | step
+            if new == closure:
+                return closure
+            closure = new
+
+
+def naive_subtypes(facts: ProgramFacts) -> Set[Tuple[str, str]]:
+    """Reference implementation by chain walking."""
+    out = set()
+    for cls in facts.classes:
+        for anc in facts.ancestors(cls):
+            out.add((cls, anc))
+    return out

@@ -1,0 +1,103 @@
+"""Saving and loading decision diagrams (BuDDy's ``bdd_save/bdd_load``).
+
+The C libraries the paper builds on can persist BDDs to disk; analyses
+use this to checkpoint expensive results (e.g. a points-to relation)
+between runs.  The format here is a small text format, one node per
+line::
+
+    bdd <num_vars> <num_nodes> <root>
+    <id> <level> <low> <high>
+    ...
+
+Node ids are file-local (0/1 are the terminals); loading rebuilds the
+diagram through the target manager's hash-consing, so the loaded root
+is canonical in that manager.  The same functions serve the ZDD backend
+(tag ``zdd``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, TextIO
+
+from repro.bdd.manager import BDDError, BDDManager
+from repro.bdd.zdd import ZDDManager
+
+__all__ = ["save_diagram", "load_diagram", "dumps_diagram", "loads_diagram"]
+
+
+def dumps_diagram(manager, root: int) -> str:
+    """Serialize the diagram rooted at ``root`` to a string."""
+    tag = "zdd" if isinstance(manager, ZDDManager) else "bdd"
+    # Topologically ordered listing: children before parents.
+    order = []
+    seen = set()
+
+    def visit(node: int) -> None:
+        if node in seen or manager.is_terminal(node):
+            return
+        seen.add(node)
+        visit(manager._low[node])
+        visit(manager._high[node])
+        order.append(node)
+
+    visit(root)
+    local: Dict[int, int] = {0: 0, 1: 1}
+    lines = [f"{tag} {manager.num_vars} {len(order)} "]
+    for i, node in enumerate(order, start=2):
+        local[node] = i
+        lines.append(
+            f"{i} {manager._level[node]} "
+            f"{local[manager._low[node]]} {local[manager._high[node]]}"
+        )
+    lines[0] += str(local.get(root, root))
+    return "\n".join(lines) + "\n"
+
+
+def loads_diagram(manager, text: str) -> int:
+    """Rebuild a serialized diagram in ``manager``; returns the root.
+
+    The manager must have at least as many variables as the file
+    declares and be of the matching kind (bdd/zdd).
+    """
+    lines = [l for l in text.splitlines() if l.strip()]
+    if not lines:
+        raise BDDError("empty diagram file")
+    header = lines[0].split()
+    if len(header) != 4:
+        raise BDDError(f"bad diagram header: {lines[0]!r}")
+    tag, num_vars, num_nodes, root_id = (
+        header[0],
+        int(header[1]),
+        int(header[2]),
+        int(header[3]),
+    )
+    expected = "zdd" if isinstance(manager, ZDDManager) else "bdd"
+    if tag != expected:
+        raise BDDError(f"diagram kind {tag!r} does not match {expected!r}")
+    if num_vars > manager.num_vars:
+        raise BDDError(
+            f"diagram needs {num_vars} variables, manager has "
+            f"{manager.num_vars}"
+        )
+    local: Dict[int, int] = {0: 0, 1: 1}
+    for line in lines[1 : num_nodes + 1]:
+        parts = line.split()
+        if len(parts) != 4:
+            raise BDDError(f"bad diagram line: {line!r}")
+        node_id, level, low, high = (int(p) for p in parts)
+        if low not in local or high not in local:
+            raise BDDError(f"diagram line references unknown node: {line!r}")
+        local[node_id] = manager.mk(level, local[low], local[high])
+    if root_id not in local:
+        raise BDDError(f"unknown diagram root {root_id}")
+    return local[root_id]
+
+
+def save_diagram(manager, root: int, fp: TextIO) -> None:
+    """Write the diagram to an open text file."""
+    fp.write(dumps_diagram(manager, root))
+
+
+def load_diagram(manager, fp: TextIO) -> int:
+    """Read a diagram from an open text file; returns the root node."""
+    return loads_diagram(manager, fp.read())

@@ -1,0 +1,812 @@
+"""Reduced Ordered Binary Decision Diagram (ROBDD) engine.
+
+This module is the reproduction's stand-in for the BuDDy/CUDD C libraries
+used by the Jedd runtime (paper sections 3.2 and 4.1).  It implements the
+exact operation set Jedd's code generator needs:
+
+- the boolean combinators ``AND``/``OR``/``DIFF``/``XOR`` (set operations
+  on relations),
+- existential quantification (``exist`` -- projection),
+- combined conjunction + quantification (``and_exist`` -- composition,
+  BuDDy's ``bdd_appex`` / CUDD's ``bddAndAbstract``),
+- variable permutation (``replace`` -- BuDDy's ``bdd_replace`` / CUDD's
+  ``SwapVariables``), used to move data between physical domains,
+- satisfying-assignment counting and enumeration (relation ``size()`` and
+  iterators),
+- per-level node counts (the "shape" of a BDD, used by the profiler).
+
+Nodes are hash-consed, so two BDDs represent the same boolean function if
+and only if they are the same node index; relation equality is therefore a
+constant-time comparison, as the paper notes.
+
+Memory management mirrors the reference-counting protocol of the C
+libraries: external references are counted with :meth:`BDDManager.ref` and
+:meth:`BDDManager.deref`, and :meth:`BDDManager.gc` sweeps unreferenced
+nodes.  Collection is never triggered implicitly in the middle of an
+operation; the Jedd runtime calls :meth:`BDDManager.maybe_gc` at operation
+boundaries, which is sound because at that point every live BDD is pinned
+by a reference count (see ``repro.relations.containers``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["BDDManager", "BDDError", "FALSE", "TRUE"]
+
+#: Node index of the constant-false terminal.
+FALSE = 0
+#: Node index of the constant-true terminal.
+TRUE = 1
+
+# Operation tags for the binary apply cache.
+_OP_AND = 0
+_OP_OR = 1
+_OP_DIFF = 2
+_OP_XOR = 3
+
+
+class BDDError(Exception):
+    """Raised on misuse of the BDD manager (bad levels, foreign nodes...)."""
+
+
+class BDDManager:
+    """A manager owning a shared node table for one variable order.
+
+    The manager is created with a fixed number of boolean variables
+    (``num_vars``).  Variables are identified by their *level*: level 0 is
+    tested at the root of every BDD, level ``num_vars - 1`` closest to the
+    terminals.  The Jedd layer above maps bits of physical domains onto
+    levels (the user-specified "relative bit ordering" of the paper).
+
+    Parameters
+    ----------
+    num_vars:
+        Number of boolean variables.  May be grown later with
+        :meth:`add_vars` (new variables are appended below existing ones).
+    gc_threshold:
+        Node count above which :meth:`maybe_gc` actually collects.
+    """
+
+    def __init__(self, num_vars: int, gc_threshold: int = 1 << 18) -> None:
+        if num_vars < 0:
+            raise BDDError("num_vars must be non-negative")
+        self._num_vars = num_vars
+        # Parallel node arrays.  Index 0 / 1 are the terminals; their level
+        # is a sentinel strictly below every real variable level.
+        self._level: List[int] = [num_vars, num_vars]
+        self._low: List[int] = [-1, -1]
+        self._high: List[int] = [-1, -1]
+        self._refs: List[int] = [1, 1]  # terminals are permanently live
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._free: List[int] = []
+        # Operation caches (cleared by gc()).
+        self._apply_cache: Dict[Tuple[int, int, int], int] = {}
+        self._not_cache: Dict[int, int] = {}
+        self._exist_cache: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+        self._and_exist_cache: Dict[Tuple[int, int, Tuple[int, ...]], int] = {}
+        self._replace_cache: Dict[Tuple[int, Tuple[Tuple[int, int], ...]], int] = {}
+        self._count_cache: Dict[Tuple[int, int], int] = {}
+        self.gc_threshold = gc_threshold
+        #: Number of garbage collections performed (exposed for profiling).
+        self.gc_count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        """Number of boolean variables managed."""
+        return self._num_vars
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of live (allocated, not freed) nodes, terminals included."""
+        return len(self._level) - len(self._free)
+
+    def level_of(self, node: int) -> int:
+        """Level tested by ``node`` (``num_vars`` for terminals)."""
+        return self._level[node]
+
+    def low(self, node: int) -> int:
+        """The else-branch (variable = 0) child of ``node``."""
+        return self._low[node]
+
+    def high(self, node: int) -> int:
+        """The then-branch (variable = 1) child of ``node``."""
+        return self._high[node]
+
+    def is_terminal(self, node: int) -> bool:
+        """True for the constant nodes ``FALSE`` and ``TRUE``."""
+        return node <= TRUE
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+
+    def add_vars(self, count: int) -> None:
+        """Append ``count`` fresh variables below all existing levels.
+
+        Existing nodes remain valid: terminal levels are stored lazily as
+        "any level >= _num_vars", so we bump the terminal sentinel.
+        """
+        if count < 0:
+            raise BDDError("count must be non-negative")
+        old_sentinel = self._num_vars
+        self._num_vars += count
+        for node in range(len(self._level)):
+            if self._level[node] == old_sentinel and self._low[node] == -1:
+                self._level[node] = self._num_vars
+        # Counting caches depend on the distance to the terminal level.
+        self._count_cache.clear()
+
+    def mk(self, level: int, low: int, high: int) -> int:
+        """Return the canonical node testing ``level``.
+
+        Applies the two ROBDD reduction rules: redundant tests collapse
+        (``low == high``) and structurally equal nodes are shared.
+        """
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is not None:
+            return node
+        if self._free:
+            node = self._free.pop()
+            self._level[node] = level
+            self._low[node] = low
+            self._high[node] = high
+            self._refs[node] = 0
+        else:
+            node = len(self._level)
+            self._level.append(level)
+            self._low.append(low)
+            self._high.append(high)
+            self._refs.append(0)
+        self._unique[key] = node
+        return node
+
+    def var(self, level: int) -> int:
+        """The BDD of the single variable at ``level``."""
+        if not 0 <= level < self._num_vars:
+            raise BDDError(f"level {level} out of range [0, {self._num_vars})")
+        return self.mk(level, FALSE, TRUE)
+
+    def nvar(self, level: int) -> int:
+        """The BDD of the negation of the variable at ``level``."""
+        if not 0 <= level < self._num_vars:
+            raise BDDError(f"level {level} out of range [0, {self._num_vars})")
+        return self.mk(level, TRUE, FALSE)
+
+    def cube(self, assignment: Dict[int, bool]) -> int:
+        """The conjunction of literals given as ``{level: value}``.
+
+        Used to encode a single tuple: the bits of each attribute's
+        physical domain are constrained, all other bits stay wildcards.
+        """
+        node = TRUE
+        for level in sorted(assignment, reverse=True):
+            if assignment[level]:
+                node = self.mk(level, FALSE, node)
+            else:
+                node = self.mk(level, node, FALSE)
+        return node
+
+    # ------------------------------------------------------------------
+    # Boolean combinators
+    # ------------------------------------------------------------------
+
+    def apply_and(self, a: int, b: int) -> int:
+        """Conjunction (set intersection of relations)."""
+        return self._apply(_OP_AND, a, b)
+
+    def apply_or(self, a: int, b: int) -> int:
+        """Disjunction (set union of relations)."""
+        return self._apply(_OP_OR, a, b)
+
+    def apply_diff(self, a: int, b: int) -> int:
+        """Difference ``a AND NOT b`` (set difference of relations)."""
+        return self._apply(_OP_DIFF, a, b)
+
+    def apply_xor(self, a: int, b: int) -> int:
+        """Exclusive or (symmetric difference of relations)."""
+        return self._apply(_OP_XOR, a, b)
+
+    def _apply(self, op: int, a: int, b: int) -> int:
+        # Terminal short-cuts.
+        if op == _OP_AND:
+            if a == FALSE or b == FALSE:
+                return FALSE
+            if a == TRUE:
+                return b
+            if b == TRUE:
+                return a
+            if a == b:
+                return a
+        elif op == _OP_OR:
+            if a == TRUE or b == TRUE:
+                return TRUE
+            if a == FALSE:
+                return b
+            if b == FALSE:
+                return a
+            if a == b:
+                return a
+        elif op == _OP_DIFF:
+            if a == FALSE or b == TRUE or a == b:
+                return FALSE
+            if b == FALSE:
+                return a
+        elif op == _OP_XOR:
+            if a == b:
+                return FALSE
+            if a == FALSE:
+                return b
+            if b == FALSE:
+                return a
+        # Normalise commutative operations for better cache hit rates.
+        if op in (_OP_AND, _OP_OR, _OP_XOR) and a > b:
+            a, b = b, a
+        key = (op, a, b)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        la, lb = self._level[a], self._level[b]
+        level = min(la, lb)
+        a0, a1 = (self._low[a], self._high[a]) if la == level else (a, a)
+        b0, b1 = (self._low[b], self._high[b]) if lb == level else (b, b)
+        result = self.mk(
+            level, self._apply(op, a0, b0), self._apply(op, a1, b1)
+        )
+        self._apply_cache[key] = result
+        return result
+
+    def apply_not(self, a: int) -> int:
+        """Complement (the full relation minus ``a``)."""
+        if a == FALSE:
+            return TRUE
+        if a == TRUE:
+            return FALSE
+        cached = self._not_cache.get(a)
+        if cached is not None:
+            return cached
+        result = self.mk(
+            self._level[a],
+            self.apply_not(self._low[a]),
+            self.apply_not(self._high[a]),
+        )
+        self._not_cache[a] = result
+        return result
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``(f AND g) OR (NOT f AND h)``."""
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        return self.apply_or(
+            self.apply_and(f, g), self.apply_diff(h, f)
+        )
+
+    # ------------------------------------------------------------------
+    # Quantification (projection / composition)
+    # ------------------------------------------------------------------
+
+    def exist(self, a: int, levels: Iterable[int]) -> int:
+        """Existentially quantify the variables at ``levels``.
+
+        This implements relational *projection*: each quantified bit takes
+        the wildcard value in the result, exactly as section 3.2.2 of the
+        paper describes.
+        """
+        lv = tuple(sorted(set(levels)))
+        if not lv:
+            return a
+        return self._exist(a, lv)
+
+    def _exist(self, a: int, levels: Tuple[int, ...]) -> int:
+        if self.is_terminal(a):
+            return a
+        la = self._level[a]
+        # Drop quantified levels above this node: they no longer occur.
+        idx = 0
+        while idx < len(levels) and levels[idx] < la:
+            idx += 1
+        levels = levels[idx:]
+        if not levels:
+            return a
+        key = (a, levels)
+        cached = self._exist_cache.get(key)
+        if cached is not None:
+            return cached
+        low = self._exist(self._low[a], levels)
+        high = self._exist(self._high[a], levels)
+        if la == levels[0]:
+            result = self.apply_or(low, high)
+        else:
+            result = self.mk(la, low, high)
+        self._exist_cache[key] = result
+        return result
+
+    def and_exist(self, a: int, b: int, levels: Iterable[int]) -> int:
+        """``exist(a AND b, levels)`` in one pass (relational composition).
+
+        This is the "special function of the BDD library" the paper uses
+        for ``<>``: BuDDy's ``bdd_appex`` with AND, CUDD's
+        ``bddAndAbstract``.  Doing conjunction and quantification together
+        avoids materialising the (often much larger) intermediate product.
+        """
+        lv = tuple(sorted(set(levels)))
+        if not lv:
+            return self.apply_and(a, b)
+        return self._and_exist(a, b, lv)
+
+    def _and_exist(self, a: int, b: int, levels: Tuple[int, ...]) -> int:
+        if a == FALSE or b == FALSE:
+            return FALSE
+        if a == TRUE and b == TRUE:
+            return TRUE
+        la, lb = self._level[a], self._level[b]
+        top = min(la, lb)
+        idx = 0
+        while idx < len(levels) and levels[idx] < top:
+            idx += 1
+        levels = levels[idx:]
+        if not levels:
+            return self.apply_and(a, b)
+        if a > b:  # AND is commutative
+            a, b = b, a
+            la, lb = lb, la
+        key = (a, b, levels)
+        cached = self._and_exist_cache.get(key)
+        if cached is not None:
+            return cached
+        a0, a1 = (self._low[a], self._high[a]) if la == top else (a, a)
+        b0, b1 = (self._low[b], self._high[b]) if lb == top else (b, b)
+        low = self._and_exist(a0, b0, levels)
+        if top == levels[0]:
+            # Quantified level: OR the cofactors.  Short-circuit on TRUE.
+            if low == TRUE:
+                result = TRUE
+            else:
+                result = self.apply_or(low, self._and_exist(a1, b1, levels))
+        else:
+            result = self.mk(top, low, self._and_exist(a1, b1, levels))
+        self._and_exist_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Variable permutation (physical domain moves)
+    # ------------------------------------------------------------------
+
+    def replace(self, a: int, permutation: Dict[int, int]) -> int:
+        """Rebuild ``a`` with variables renamed by ``permutation``.
+
+        ``permutation`` maps old levels to new levels and must be
+        injective.  This is Jedd's ``replace``: it moves the bits of one
+        physical domain to another, so the relation's tuples are unchanged
+        but stored in different BDD variables.
+
+        The implementation recomposes via ITE so that permutations that
+        change the relative order of variables are handled correctly.
+        """
+        perm = {k: v for k, v in permutation.items() if k != v}
+        if not perm:
+            return a
+        if len(set(perm.values())) != len(perm):
+            raise BDDError("replace permutation must be injective")
+        for old, new in perm.items():
+            if not (0 <= old < self._num_vars and 0 <= new < self._num_vars):
+                raise BDDError("replace permutation level out of range")
+        key_perm = tuple(sorted(perm.items()))
+        memo: Dict[int, int] = {}
+
+        def rec(node: int) -> int:
+            if self.is_terminal(node):
+                return node
+            cached = self._replace_cache.get((node, key_perm))
+            if cached is not None:
+                return cached
+            hit = memo.get(node)
+            if hit is not None:
+                return hit
+            level = self._level[node]
+            new_level = perm.get(level, level)
+            low = rec(self._low[node])
+            high = rec(self._high[node])
+            result = self.ite(self.var(new_level), high, low)
+            memo[node] = result
+            self._replace_cache[(node, key_perm)] = result
+            return result
+
+        return rec(a)
+
+    def simplify(self, f: int, care: int) -> int:
+        """Coudert-Madre restrict: minimise ``f`` against a care set.
+
+        Returns a BDD ``g``, typically smaller than ``f``, such that
+        ``g AND care == f AND care`` -- i.e. ``g`` agrees with ``f``
+        wherever ``care`` holds and is arbitrary elsewhere.  Useful for
+        shrinking relation representations when only tuples within a
+        known universe matter (BuDDy's ``bdd_simplify``).
+        """
+        return self._simplify(f, care)
+
+    def _simplify(self, f: int, care: int) -> int:
+        if care == FALSE:
+            return FALSE
+        if care == TRUE or self.is_terminal(f):
+            return f
+        key = (-1, f, care)  # share the apply cache with a private tag
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        lf, lc = self._level[f], self._level[care]
+        if lc < lf:
+            # The care set constrains a variable f does not test.
+            result = self._simplify(
+                f, self.apply_or(self._low[care], self._high[care])
+            )
+        else:
+            c0, c1 = (
+                (self._low[care], self._high[care])
+                if lc == lf
+                else (care, care)
+            )
+            if c0 == FALSE:
+                result = self._simplify(self._high[f], c1)
+            elif c1 == FALSE:
+                result = self._simplify(self._low[f], c0)
+            else:
+                result = self.mk(
+                    lf,
+                    self._simplify(self._low[f], c0),
+                    self._simplify(self._high[f], c1),
+                )
+        self._apply_cache[key] = result
+        return result
+
+    def to_dot(self, a: int, var_names: Optional[Dict[int, str]] = None) -> str:
+        """GraphViz rendering of the BDD rooted at ``a``.
+
+        Dashed edges are else-branches, solid edges then-branches; the
+        terminals are drawn as boxes.  ``var_names`` optionally labels
+        levels (e.g. with physical-domain bit names).
+        """
+        names = var_names or {}
+        lines = [
+            "digraph bdd {",
+            '  node0 [label="0", shape=box];',
+            '  node1 [label="1", shape=box];',
+        ]
+        seen = set()
+        stack = [a]
+        while stack:
+            node = stack.pop()
+            if node in seen or self.is_terminal(node):
+                continue
+            seen.add(node)
+            level = self._level[node]
+            label = names.get(level, f"x{level}")
+            lines.append(f'  node{node} [label="{label}"];')
+            lines.append(
+                f"  node{node} -> node{self._low[node]} [style=dashed];"
+            )
+            lines.append(f"  node{node} -> node{self._high[node]};")
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    # Restriction / cofactors
+    # ------------------------------------------------------------------
+
+    def restrict(self, a: int, assignment: Dict[int, bool]) -> int:
+        """Cofactor ``a`` by fixing the given ``{level: value}`` bits."""
+        if not assignment:
+            return a
+        items = tuple(sorted(assignment.items()))
+        memo: Dict[int, int] = {}
+
+        def rec(node: int) -> int:
+            if self.is_terminal(node):
+                return node
+            hit = memo.get(node)
+            if hit is not None:
+                return hit
+            level = self._level[node]
+            if level in assignment:
+                result = rec(
+                    self._high[node] if assignment[level] else self._low[node]
+                )
+            else:
+                result = self.mk(level, rec(self._low[node]), rec(self._high[node]))
+            memo[node] = result
+            return result
+
+        del items  # key kept for symmetry; memo is per-call
+        return rec(a)
+
+    def support(self, a: int) -> frozenset:
+        """The set of levels on which ``a`` actually depends."""
+        seen = set()
+        levels = set()
+        stack = [a]
+        while stack:
+            node = stack.pop()
+            if node in seen or self.is_terminal(node):
+                continue
+            seen.add(node)
+            levels.add(self._level[node])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return frozenset(levels)
+
+    # ------------------------------------------------------------------
+    # Counting and enumeration
+    # ------------------------------------------------------------------
+
+    def sat_count(self, a: int, levels: Sequence[int] | None = None) -> int:
+        """Number of satisfying assignments over ``levels``.
+
+        ``levels`` defaults to all variables.  Variables outside
+        ``levels`` must not occur in ``a``'s support; the relation layer
+        passes the union of its attributes' physical domain bits, and all
+        other bits are wildcards (quantified out of relation BDDs).
+        """
+        if levels is None:
+            level_set = None
+            width = self._num_vars
+        else:
+            level_set = frozenset(levels)
+            width = len(level_set)
+            bad = self.support(a) - level_set
+            if bad:
+                raise BDDError(
+                    f"sat_count levels {sorted(level_set)} do not cover "
+                    f"support levels {sorted(bad)}"
+                )
+        # Count assignments over *relevant* levels only: between a parent
+        # at level l and a child at level m, the number of skipped
+        # relevant levels determines the wildcard multiplier.
+        sorted_levels = (
+            sorted(level_set) if level_set is not None else list(range(width))
+        )
+        # rank[l] = number of relevant levels strictly below l (deeper).
+        rank_below: Dict[int, int] = {}
+        for i, lvl in enumerate(sorted_levels):
+            rank_below[lvl] = len(sorted_levels) - i - 1
+
+        def relevant_below(level: int) -> int:
+            # Convention: for a terminal (level sentinel) return -1 so the
+            # "levels skipped on an edge" formula
+            #     skipped = relevant_below(parent) - relevant_below(child) - 1
+            # counts every relevant level strictly below the parent.
+            if level >= self._num_vars:
+                return -1
+            if level_set is None:
+                return self._num_vars - level - 1
+            return rank_below[level]
+
+        memo: Dict[int, int] = {}
+
+        def count(node: int) -> int:
+            # Returns count over relevant levels strictly below node level,
+            # plus the node's own level if relevant.
+            if node == FALSE:
+                return 0
+            if node == TRUE:
+                return 1
+            hit = memo.get(node)
+            if hit is not None:
+                return hit
+            level = self._level[node]
+            here = relevant_below(level)
+            total = 0
+            for child in (self._low[node], self._high[node]):
+                c = count(child)
+                if c:
+                    skipped = here - relevant_below(self._level[child]) - 1
+                    total += c << skipped
+            memo[node] = total
+            return total
+
+        if a == FALSE:
+            return 0
+        if a == TRUE:
+            return 1 << width
+        top_skipped = width - relevant_below(self._level[a]) - 1
+        return count(a) << top_skipped
+
+    def any_sat(self, a: int) -> Dict[int, bool] | None:
+        """One satisfying partial assignment, or None if ``a`` is FALSE."""
+        if a == FALSE:
+            return None
+        assignment: Dict[int, bool] = {}
+        node = a
+        while not self.is_terminal(node):
+            if self._low[node] != FALSE:
+                assignment[self._level[node]] = False
+                node = self._low[node]
+            else:
+                assignment[self._level[node]] = True
+                node = self._high[node]
+        return assignment
+
+    def all_sat(
+        self, a: int, levels: Sequence[int]
+    ) -> Iterator[Dict[int, bool]]:
+        """Iterate complete assignments over ``levels`` satisfying ``a``.
+
+        Bits of ``a``'s support outside ``levels`` must not occur (checked);
+        wildcard bits *within* ``levels`` are expanded to both values, so
+        each yielded dict assigns every requested level.
+        """
+        level_list = sorted(set(levels))
+        bad = self.support(a) - set(level_list)
+        if bad:
+            raise BDDError(
+                f"all_sat levels do not cover support levels {sorted(bad)}"
+            )
+
+        def rec(node: int, idx: int) -> Iterator[Dict[int, bool]]:
+            if node == FALSE:
+                return
+            if idx == len(level_list):
+                yield {}
+                return
+            level = level_list[idx]
+            node_level = self._level[node]
+            if node_level == level:
+                for value, child in (
+                    (False, self._low[node]),
+                    (True, self._high[node]),
+                ):
+                    for rest in rec(child, idx + 1):
+                        rest[level] = value
+                        yield rest
+            else:
+                # level is a wildcard here (node tests something deeper).
+                for rest in rec(node, idx + 1):
+                    for value in (False, True):
+                        out = dict(rest)
+                        out[level] = value
+                        yield out
+
+        return rec(a, 0)
+
+    # ------------------------------------------------------------------
+    # Shape and size (profiler support)
+    # ------------------------------------------------------------------
+
+    def node_count(self, a: int) -> int:
+        """Number of distinct internal nodes reachable from ``a``."""
+        seen = set()
+        stack = [a]
+        while stack:
+            node = stack.pop()
+            if node in seen or self.is_terminal(node):
+                continue
+            seen.add(node)
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return len(seen)
+
+    def shape(self, a: int) -> List[int]:
+        """Node count at each level -- the BDD "shape" of section 4.3."""
+        counts = [0] * self._num_vars
+        seen = set()
+        stack = [a]
+        while stack:
+            node = stack.pop()
+            if node in seen or self.is_terminal(node):
+                continue
+            seen.add(node)
+            counts[self._level[node]] += 1
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return counts
+
+    # ------------------------------------------------------------------
+    # Reference counting and garbage collection
+    # ------------------------------------------------------------------
+
+    def ref(self, node: int) -> int:
+        """Increment ``node``'s external reference count; returns ``node``."""
+        self._refs[node] += 1
+        return node
+
+    def deref(self, node: int) -> None:
+        """Decrement ``node``'s external reference count."""
+        if self._refs[node] <= 0:
+            raise BDDError(f"deref of node {node} with zero refcount")
+        self._refs[node] -= 1
+
+    def ref_count(self, node: int) -> int:
+        """Current external reference count of ``node``."""
+        return self._refs[node]
+
+    def maybe_gc(self) -> bool:
+        """Collect if the node table exceeds the threshold.
+
+        Called by the relation runtime at operation boundaries, where all
+        live BDDs are pinned by container reference counts.  Returns True
+        if a collection ran.
+        """
+        if self.num_nodes <= self.gc_threshold:
+            return False
+        self.gc()
+        if self.num_nodes > self.gc_threshold * 3 // 4:
+            self.gc_threshold *= 2
+        return True
+
+    def gc(self) -> int:
+        """Sweep nodes unreachable from externally referenced roots.
+
+        Returns the number of nodes freed.  All operation caches are
+        cleared, as they may reference dead nodes.
+        """
+        marked = [False] * len(self._level)
+        stack = [n for n, r in enumerate(self._refs) if r > 0]
+        while stack:
+            node = stack.pop()
+            if marked[node] or self.is_terminal(node):
+                continue
+            marked[node] = True
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        marked[FALSE] = marked[TRUE] = True
+        freed = 0
+        free_set = set(self._free)
+        for node in range(2, len(self._level)):
+            if not marked[node] and node not in free_set:
+                key = (self._level[node], self._low[node], self._high[node])
+                if self._unique.get(key) == node:
+                    del self._unique[key]
+                self._low[node] = -1
+                self._high[node] = -1
+                self._free.append(node)
+                freed += 1
+        self._apply_cache.clear()
+        self._not_cache.clear()
+        self._exist_cache.clear()
+        self._and_exist_cache.clear()
+        self._replace_cache.clear()
+        self._count_cache.clear()
+        self.gc_count += 1
+        return freed
+
+    # ------------------------------------------------------------------
+    # Debugging
+    # ------------------------------------------------------------------
+
+    def to_dict(self, a: int) -> Dict[int, Tuple[int, int, int]]:
+        """Reachable node table ``{node: (level, low, high)}`` for tests."""
+        out: Dict[int, Tuple[int, int, int]] = {}
+        stack = [a]
+        while stack:
+            node = stack.pop()
+            if node in out or self.is_terminal(node):
+                continue
+            out[node] = (self._level[node], self._low[node], self._high[node])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return out
+
+    def eval(self, a: int, assignment: Callable[[int], bool]) -> bool:
+        """Evaluate ``a`` under a total assignment ``level -> bool``."""
+        node = a
+        while not self.is_terminal(node):
+            node = (
+                self._high[node]
+                if assignment(self._level[node])
+                else self._low[node]
+            )
+        return node == TRUE

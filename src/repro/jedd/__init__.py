@@ -1,0 +1,40 @@
+"""The Jedd language: parser, type checker, translator, and runtime glue.
+
+This package is the reproduction's core contribution, mirroring the
+jeddc compiler of the paper: Figure 5's grammar (``repro.jedd.parser``),
+Figure 6's typing rules (``repro.jedd.typecheck``), the constraint
+graph and SAT-based physical domain assignment of section 3.3
+(``repro.jedd.constraints``, ``repro.jedd.assignment``), liveness-driven
+eager freeing (``repro.jedd.liveness``), code generation
+(``repro.jedd.codegen``) and direct execution (``repro.jedd.interp``).
+"""
+
+from repro.jedd.assignment import AssignmentError, AssignmentResult, DomainAssigner
+from repro.jedd.codegen import generate
+from repro.jedd.compiler import CompiledProgram, compile_source
+from repro.jedd.constraints import ConstraintGraph, build_constraints
+from repro.jedd.interp import Interpreter, JeddRuntimeError
+from repro.jedd.lexer import LexError, tokenize
+from repro.jedd.parser import ParseError, parse_expression, parse_program
+from repro.jedd.typecheck import TypeError_, TypedProgram, check
+
+__all__ = [
+    "AssignmentError",
+    "AssignmentResult",
+    "CompiledProgram",
+    "ConstraintGraph",
+    "DomainAssigner",
+    "Interpreter",
+    "JeddRuntimeError",
+    "LexError",
+    "ParseError",
+    "TypeError_",
+    "TypedProgram",
+    "build_constraints",
+    "check",
+    "compile_source",
+    "generate",
+    "parse_expression",
+    "parse_program",
+    "tokenize",
+]

@@ -1,0 +1,323 @@
+"""Abstract syntax for the Jedd mini-language.
+
+The paper extends full Java via Polyglot; the reproduction embeds the
+same relational sublanguage (the added productions of Figure 5 --
+relation types, ``><``/``<>`` joins, cast-like attribute manipulation,
+``new {...}`` literals, ``0B``/``1B``) in a small imperative host
+language with declarations, assignment, ``if``/``while``/``do-while``,
+and void functions.  Every program in the paper (e.g. Figure 4) is
+expressible verbatim modulo host-statement syntax.
+
+Each AST node carries a source ``Position`` so that type errors and
+physical-domain-assignment conflicts can be reported the way section
+3.3.3 shows (``Test.jedd:4,25``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "Position",
+    "AttrSpec",
+    "RelationType",
+    "Program",
+    "DomainDecl",
+    "AttributeDecl",
+    "PhysDomDecl",
+    "VarDecl",
+    "FuncDecl",
+    "Param",
+    "Block",
+    "AssignStmt",
+    "ExprStmt",
+    "IfStmt",
+    "WhileStmt",
+    "DoWhileStmt",
+    "ReturnStmt",
+    "PrintStmt",
+    "FreeStmt",
+    "Expr",
+    "VarRef",
+    "ConstRel",
+    "NewRel",
+    "NewPiece",
+    "SetOp",
+    "JoinOp",
+    "ReplaceOp",
+    "Replacement",
+    "Compare",
+    "CallStmt",
+]
+
+
+@dataclass(frozen=True)
+class Position:
+    """Line/column of a token, 1-based, as in the paper's error messages."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line},{self.column}"
+
+
+@dataclass
+class AttrSpec:
+    """One ``attribute`` or ``attribute:physdom`` entry of a relation type."""
+
+    attr: str
+    physdom: Optional[str]
+    pos: Position
+
+
+@dataclass
+class RelationType:
+    """``<a1:P1, a2, ...>`` -- the static type of a relation."""
+
+    specs: List[AttrSpec]
+    pos: Position
+
+    def attr_names(self) -> Tuple[str, ...]:
+        return tuple(s.attr for s in self.specs)
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Program:
+    decls: List[object]  # DomainDecl | AttributeDecl | PhysDomDecl |
+    #                      VarDecl | FuncDecl
+
+
+@dataclass
+class DomainDecl:
+    """``domain Type 1024;``"""
+
+    name: str
+    size: int
+    pos: Position
+
+
+@dataclass
+class AttributeDecl:
+    """``attribute rectype : Type;``"""
+
+    name: str
+    domain: str
+    pos: Position
+
+
+@dataclass
+class PhysDomDecl:
+    """``physdom T1 10;``"""
+
+    name: str
+    bits: int
+    pos: Position
+
+
+@dataclass
+class VarDecl:
+    """``<a, b:P> x;`` or with initializer ``<a> x = expr;``
+
+    Used both for globals (fields) and locals.
+    """
+
+    rel_type: RelationType
+    name: str
+    init: Optional["Expr"]
+    pos: Position
+
+
+@dataclass
+class Param:
+    rel_type: RelationType
+    name: str
+    pos: Position
+
+
+@dataclass
+class FuncDecl:
+    """``def resolve(<rectype,signature> receiverTypes, ...) { ... }``"""
+
+    name: str
+    params: List[Param]
+    body: "Block"
+    pos: Position
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Block:
+    stmts: List[object]
+    pos: Position
+
+
+@dataclass
+class AssignStmt:
+    """``x = e;`` / ``x |= e;`` / ``x &= e;`` / ``x -= e;``"""
+
+    target: str
+    op: str  # "=", "|=", "&=", "-="
+    value: "Expr"
+    pos: Position
+
+
+@dataclass
+class ExprStmt:
+    expr: "Expr"
+    pos: Position
+
+
+@dataclass
+class CallStmt:
+    """``resolve(receiverTypes, extend);`` -- void function call."""
+
+    name: str
+    args: List["Expr"]
+    pos: Position
+
+
+@dataclass
+class IfStmt:
+    cond: "Compare"
+    then_block: Block
+    else_block: Optional[Block]
+    pos: Position
+
+
+@dataclass
+class WhileStmt:
+    cond: "Compare"
+    body: Block
+    pos: Position
+
+
+@dataclass
+class DoWhileStmt:
+    body: Block
+    cond: "Compare"
+    pos: Position
+
+
+@dataclass
+class ReturnStmt:
+    pos: Position
+
+
+@dataclass
+class PrintStmt:
+    """``print(expr);`` -- host-level escape, the ``toString()`` of 2.3."""
+
+    expr: "Expr"
+    pos: Position
+
+
+@dataclass
+class FreeStmt:
+    """``free x;`` -- emitted by the liveness pass, not written by users."""
+
+    name: str
+    pos: Position
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+class Expr:
+    """Base class; subclasses carry ``pos`` and get ``expr_id``/``schema``
+    annotations during type checking."""
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+    pos: Position = field(default=Position(0, 0))
+
+
+@dataclass
+class ConstRel(Expr):
+    """``0B`` (empty) or ``1B`` (full); polymorphic like Java's null."""
+
+    full: bool
+    pos: Position = field(default=Position(0, 0))
+
+
+@dataclass
+class NewPiece:
+    """One ``expr => attribute(:physdom)`` piece of a literal."""
+
+    value: str  # identifier (host binding) or quoted string literal
+    is_string: bool
+    attr: str
+    physdom: Optional[str]
+    pos: Position = field(default=Position(0, 0))
+
+
+@dataclass
+class NewRel(Expr):
+    """``new { o1 => a1, ... }`` single-tuple literal."""
+
+    pieces: List[NewPiece]
+    pos: Position = field(default=Position(0, 0))
+
+
+@dataclass
+class SetOp(Expr):
+    """``x | y``, ``x & y``, ``x - y``."""
+
+    op: str  # "|", "&", "-"
+    left: Expr
+    right: Expr
+    pos: Position = field(default=Position(0, 0))
+
+
+@dataclass
+class JoinOp(Expr):
+    """``left{a...} >< right{b...}`` or ``<>`` for composition."""
+
+    left: Expr
+    left_attrs: List[str]
+    op: str  # "><" or "<>"
+    right: Expr
+    right_attrs: List[str]
+    pos: Position = field(default=Position(0, 0))
+
+
+@dataclass
+class Replacement:
+    """``a=>`` (project), ``a=>b`` (rename), ``a=>b c`` (copy)."""
+
+    source: str
+    targets: List[str]  # [] project, [b] rename, [b, c] copy
+    pos: Position = field(default=Position(0, 0))
+
+
+@dataclass
+class ReplaceOp(Expr):
+    """Cast-like attribute manipulation: ``(a=>b, c=>) x``."""
+
+    replacements: List[Replacement]
+    operand: Expr
+    pos: Position = field(default=Position(0, 0))
+
+
+@dataclass
+class Compare(Expr):
+    """``x == y`` / ``x != y`` -- boolean-valued, used in conditions."""
+
+    op: str  # "==" or "!="
+    left: Expr
+    right: Expr
+    pos: Position = field(default=Position(0, 0))

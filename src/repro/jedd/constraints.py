@@ -1,0 +1,382 @@
+"""Physical-domain-assignment constraint generation (section 3.3.2).
+
+Every attribute of every relational expression -- plus the attributes of
+every relation variable and of the *dummy replace wrappers* inserted
+between each subexpression and its consumer -- becomes a node of the
+constraint graph.  Three kinds of edges are produced:
+
+- **conflict** edges between every pair of attributes of one expression
+  (they must be assigned distinct physical domains),
+- **equality** edges where an operation requires two attributes in the
+  same physical domain (join comparison lists, operands of set
+  operations after their wrappers, rename sources/targets, ...),
+- **assignment** edges across each dummy replace wrapper; these are the
+  breakable edges -- if the two endpoints end up in different physical
+  domains, a real replace operation is generated there, otherwise the
+  wrapper disappears.
+
+This reproduces Figure 7: for Figure 4's join, the graph splits into
+four connected components (rectype / signature / tgttype+type / method)
+and no replaces are needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.jedd import ast
+from repro.jedd.typecheck import TypedProgram, VarInfo
+
+__all__ = ["AttrNode", "ConstraintGraph", "build_constraints"]
+
+
+@dataclass
+class AttrNode:
+    """One attribute of one expression/variable/wrapper."""
+
+    node_id: int
+    owner_kind: str  # "expr", "var", "wrap"
+    owner_key: object  # expr_id / var_id / wrapped child expr_id
+    attr: str
+    desc: str  # e.g. "Compose_expression", "variable toResolve"
+    pos: ast.Position
+    domain: str  # the attribute's domain name (for width feasibility)
+
+
+@dataclass
+class ConstraintGraph:
+    """The constraint graph plus bookkeeping for decoding and reporting."""
+
+    nodes: List[AttrNode] = field(default_factory=list)
+    equality_edges: List[Tuple[int, int]] = field(default_factory=list)
+    assignment_edges: List[Tuple[int, int]] = field(default_factory=list)
+    conflict_edges: List[Tuple[int, int]] = field(default_factory=list)
+    #: node_id -> explicitly specified physical domain
+    specified: Dict[int, str] = field(default_factory=dict)
+    #: ("expr", expr_id) / ("var", var_id) / ("wrap", child_expr_id)
+    #:   -> {attribute: node_id}
+    owner_maps: Dict[Tuple[str, object], Dict[str, int]] = field(
+        default_factory=dict
+    )
+
+    # -- construction helpers -------------------------------------------
+
+    def add_owner(
+        self,
+        kind: str,
+        key: object,
+        attrs: List[str],
+        desc: str,
+        pos: ast.Position,
+        domains: Dict[str, str],
+    ) -> Dict[str, int]:
+        """Create nodes for one owner; adds the all-pairs conflict edges."""
+        mapping: Dict[str, int] = {}
+        for attr in attrs:
+            node = AttrNode(
+                node_id=len(self.nodes),
+                owner_kind=kind,
+                owner_key=key,
+                attr=attr,
+                desc=desc,
+                pos=pos,
+                domain=domains[attr],
+            )
+            self.nodes.append(node)
+            mapping[attr] = node.node_id
+        ids = list(mapping.values())
+        for i in range(len(ids)):
+            for j in range(i + 1, len(ids)):
+                self.conflict_edges.append((ids[i], ids[j]))
+        self.owner_maps[(kind, key)] = mapping
+        return mapping
+
+    def equal(self, a: int, b: int) -> None:
+        """Require nodes ``a`` and ``b`` to share a physical domain."""
+        self.equality_edges.append((a, b))
+
+    def assign(self, a: int, b: int) -> None:
+        """Link ``a`` and ``b`` across a dummy replace (breakable)."""
+        self.assignment_edges.append((a, b))
+
+    def adjacency(self) -> Dict[int, List[int]]:
+        """Undirected adjacency over equality + assignment edges."""
+        adj: Dict[int, List[int]] = {n.node_id: [] for n in self.nodes}
+        for a, b in self.equality_edges + self.assignment_edges:
+            adj[a].append(b)
+            adj[b].append(a)
+        return adj
+
+    # -- statistics (the first two sections of Table 1) ------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Counts for the first two sections of Table 1."""
+        exprs = {
+            n.owner_key for n in self.nodes if n.owner_kind == "expr"
+        }
+        attrs = sum(1 for n in self.nodes if n.owner_kind == "expr")
+        return {
+            "relation_exprs": len(exprs),
+            "attributes": attrs,
+            "nodes": len(self.nodes),
+            "conflict": len(self.conflict_edges),
+            "equality": len(self.equality_edges),
+            "assignment": len(self.assignment_edges),
+        }
+
+
+_EXPR_DESC = {
+    ast.VarRef: "Variable_use",
+    ast.ConstRel: "Constant",
+    ast.NewRel: "Literal_expression",
+    ast.ReplaceOp: "Replace_expression",
+}
+
+
+def _describe(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.SetOp):
+        return {
+            "|": "Union_expression",
+            "&": "Intersection_expression",
+            "-": "Difference_expression",
+        }[expr.op]
+    if isinstance(expr, ast.JoinOp):
+        return (
+            "Join_expression" if expr.op == "><" else "Compose_expression"
+        )
+    return _EXPR_DESC.get(type(expr), type(expr).__name__)
+
+
+class _Builder:
+    def __init__(self, tp: TypedProgram) -> None:
+        self.tp = tp
+        self.graph = ConstraintGraph()
+        self._var_nodes: Dict[int, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> ConstraintGraph:
+        for key, info in self.tp.variables.items():
+            self._declare_var_nodes(info)
+        for decl in self.tp.program.decls:
+            if isinstance(decl, ast.VarDecl) and decl.init is not None:
+                self._context(decl.init, self._var_nodes[
+                    self.tp.lookup_var(None, decl.name).var_id
+                ], None)
+            elif isinstance(decl, ast.FuncDecl):
+                self._block(decl.body, decl.name)
+        return self.graph
+
+    def _attr_domains(self, attrs) -> Dict[str, str]:
+        return {a: self.tp.attributes[a] for a in attrs}
+
+    def _declare_var_nodes(self, info: VarInfo) -> None:
+        mapping = self.graph.add_owner(
+            "var",
+            info.var_id,
+            list(info.schema),
+            f"variable {info.name}",
+            info.pos,
+            self._attr_domains(info.schema),
+        )
+        self._var_nodes[info.var_id] = mapping
+        for attr, pd in info.specified.items():
+            self.graph.specified[mapping[attr]] = pd
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _block(self, block: ast.Block, func: Optional[str]) -> None:
+        for stmt in block.stmts:
+            self._stmt(stmt, func)
+
+    def _stmt(self, stmt: object, func: Optional[str]) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                info = self.tp.lookup_var(func, stmt.name)
+                self._context(stmt.init, self._var_nodes[info.var_id], func)
+        elif isinstance(stmt, ast.AssignStmt):
+            info = self.tp.lookup_var(func, stmt.target)
+            self._context(stmt.value, self._var_nodes[info.var_id], func)
+        elif isinstance(stmt, ast.CallStmt):
+            target = self.tp.functions[stmt.name]
+            for arg, param in zip(stmt.args, target.params):
+                self._context(arg, self._var_nodes[param.var_id], func)
+        elif isinstance(stmt, ast.IfStmt):
+            self._compare(stmt.cond, func)
+            self._block(stmt.then_block, func)
+            if stmt.else_block is not None:
+                self._block(stmt.else_block, func)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._compare(stmt.cond, func)
+            self._block(stmt.body, func)
+        elif isinstance(stmt, ast.DoWhileStmt):
+            self._block(stmt.body, func)
+            self._compare(stmt.cond, func)
+        elif isinstance(stmt, ast.PrintStmt):
+            self._expr(stmt.expr, func)
+
+    def _compare(self, cond: ast.Compare, func: Optional[str]) -> None:
+        left = self._expr(cond.left, func)
+        right = self._expr(cond.right, func)
+        if left is None or right is None:
+            return  # comparison against 0B/1B constrains nothing
+        lw = self._wrap(cond.left, left)
+        rw = self._wrap(cond.right, right)
+        for attr, nid in lw.items():
+            self.graph.equal(nid, rw[attr])
+
+    def _context(
+        self,
+        expr: ast.Expr,
+        target_nodes: Dict[str, int],
+        func: Optional[str],
+    ) -> None:
+        """Wire an expression into an assignment/argument context."""
+        nodes = self._expr(expr, func)
+        if nodes is None:
+            return  # 0B/1B adopt the target's physical domains directly
+        wrapper = self._wrap(expr, nodes)
+        for attr, nid in wrapper.items():
+            self.graph.equal(nid, target_nodes[attr])
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _wrap(
+        self, child: ast.Expr, child_nodes: Dict[str, int]
+    ) -> Dict[str, int]:
+        """Insert the dummy replace wrapper above ``child``."""
+        attrs = list(child_nodes)
+        mapping = self.graph.add_owner(
+            "wrap",
+            child.expr_id,
+            attrs,
+            "replace",
+            child.pos,
+            self._attr_domains(attrs),
+        )
+        for attr in attrs:
+            self.graph.assign(child_nodes[attr], mapping[attr])
+        return mapping
+
+    def _expr(
+        self, expr: ast.Expr, func: Optional[str]
+    ) -> Optional[Dict[str, int]]:
+        """Create this expression's attribute nodes; None for 0B/1B."""
+        if isinstance(expr, ast.ConstRel):
+            return None
+        desc = _describe(expr)
+        if isinstance(expr, ast.VarRef):
+            mapping = self.graph.add_owner(
+                "expr",
+                expr.expr_id,
+                list(expr.schema),
+                desc,
+                expr.pos,
+                self._attr_domains(expr.schema),
+            )
+            var_nodes = self._var_nodes[expr.var_info.var_id]
+            for attr, nid in mapping.items():
+                self.graph.equal(nid, var_nodes[attr])
+            return mapping
+        if isinstance(expr, ast.NewRel):
+            mapping = self.graph.add_owner(
+                "expr",
+                expr.expr_id,
+                list(expr.schema),
+                desc,
+                expr.pos,
+                self._attr_domains(expr.schema),
+            )
+            for (eid, attr), pd in self.tp.specified.items():
+                if eid == expr.expr_id:
+                    self.graph.specified[mapping[attr]] = pd
+            return mapping
+        if isinstance(expr, ast.SetOp):
+            left = self._expr(expr.left, func)
+            right = self._expr(expr.right, func)
+            mapping = self.graph.add_owner(
+                "expr",
+                expr.expr_id,
+                list(expr.schema),
+                desc,
+                expr.pos,
+                self._attr_domains(expr.schema),
+            )
+            for child, child_nodes in ((expr.left, left), (expr.right, right)):
+                wrapper = self._wrap(child, child_nodes)
+                for attr, nid in wrapper.items():
+                    self.graph.equal(nid, mapping[attr])
+            return mapping
+        if isinstance(expr, ast.ReplaceOp):
+            operand = self._expr(expr.operand, func)
+            wrapper = self._wrap(expr.operand, operand)
+            mapping = self.graph.add_owner(
+                "expr",
+                expr.expr_id,
+                list(expr.schema),
+                desc,
+                expr.pos,
+                self._attr_domains(expr.schema),
+            )
+            # Work out where each operand attribute went.
+            renames: Dict[str, List[str]] = {
+                a: [a] for a in expr.operand.schema
+            }
+            for rep in expr.replacements:
+                renames[rep.source] = list(rep.targets)
+            for attr, targets in renames.items():
+                if not targets:
+                    continue  # projected away: no result node
+                # Rename and the first copy stay in the same physical
+                # domain (no BDD change, section 3.2.2).
+                self.graph.equal(wrapper[attr], mapping[targets[0]])
+                # A second copy target gets its domain from elsewhere
+                # (conflict edges force it away from the source's).
+            return mapping
+        if isinstance(expr, ast.JoinOp):
+            left = self._expr(expr.left, func)
+            right = self._expr(expr.right, func)
+            lw = self._wrap(expr.left, left)
+            rw = self._wrap(expr.right, right)
+            mapping = self.graph.add_owner(
+                "expr",
+                expr.expr_id,
+                list(expr.schema),
+                desc,
+                expr.pos,
+                self._attr_domains(expr.schema),
+            )
+            # Compared attributes must share a physical domain.
+            for a, b in zip(expr.left_attrs, expr.right_attrs):
+                self.graph.equal(lw[a], rw[b])
+            if expr.op == "><":
+                kept_left = list(expr.left.schema)
+            else:
+                kept_left = [
+                    a for a in expr.left.schema
+                    if a not in set(expr.left_attrs)
+                ]
+            for a in kept_left:
+                self.graph.equal(lw[a], mapping[a])
+            for b in expr.right.schema:
+                if b not in set(expr.right_attrs):
+                    self.graph.equal(rw[b], mapping[b])
+            return mapping
+        raise AssertionError(f"unhandled expression {type(expr).__name__}")
+
+
+def build_constraints(tp: TypedProgram) -> ConstraintGraph:
+    """Build the physical-domain-assignment constraint graph."""
+    graph = _Builder(tp).run()
+    # Attach explicit specifications on expression nodes (variable
+    # declarations were handled during node creation; literals above).
+    for (expr_id, attr), pd in tp.specified.items():
+        mapping = graph.owner_maps.get(("expr", expr_id))
+        if mapping and attr in mapping:
+            graph.specified[mapping[attr]] = pd
+    return graph

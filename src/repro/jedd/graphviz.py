@@ -1,0 +1,88 @@
+"""GraphViz rendering of constraint graphs (Figure 7 as a figure).
+
+The paper draws the physical-domain-assignment constraints with solid
+lines for equality edges and dashed lines for assignment edges, one box
+per expression with its attributes inside.  This module reproduces that
+drawing for any program: each owner (expression, wrapper, variable)
+becomes a record-shaped node listing its attributes; optionally, nodes
+are coloured by their assigned physical domain, making the connected
+components of section 3.3.2 visually obvious.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.jedd.assignment import AssignmentResult
+from repro.jedd.constraints import ConstraintGraph
+
+__all__ = ["constraints_to_dot"]
+
+# A qualitative palette, reused cyclically per physical domain.
+_COLORS = [
+    "#aec7e8", "#ffbb78", "#98df8a", "#ff9896", "#c5b0d5",
+    "#c49c94", "#f7b6d2", "#dbdb8d", "#9edae5", "#d9d9d9",
+]
+
+
+def constraints_to_dot(
+    graph: ConstraintGraph,
+    assignment: Optional[AssignmentResult] = None,
+    include_conflicts: bool = False,
+) -> str:
+    """Render the constraint graph in DOT.
+
+    Equality edges are solid, assignment edges dashed (the paper's
+    convention); conflict edges (all-pairs within each owner) are
+    omitted by default, as in Figure 7.  With an ``assignment``, each
+    attribute node is filled with its physical domain's colour and
+    labelled ``attr:PD``.
+    """
+    color_of: Dict[str, str] = {}
+
+    def pd_color(pd: str) -> str:
+        if pd not in color_of:
+            color_of[pd] = _COLORS[len(color_of) % len(_COLORS)]
+        return color_of[pd]
+
+    lines = [
+        "graph constraints {",
+        "  rankdir=TB;",
+        "  node [shape=box, fontsize=10];",
+    ]
+    # Group attribute nodes into owner clusters.
+    owners: Dict[tuple, list] = {}
+    for node in graph.nodes:
+        owners.setdefault((node.owner_kind, node.owner_key), []).append(node)
+    for i, ((kind, key), members) in enumerate(sorted(
+        owners.items(), key=lambda kv: str(kv[0])
+    )):
+        desc = members[0].desc
+        pos = members[0].pos
+        lines.append(f"  subgraph cluster_{i} {{")
+        lines.append(f'    label="{desc} at {pos}"; fontsize=9;')
+        style = "dashed" if kind == "wrap" else "solid"
+        lines.append(f"    style={style};")
+        for node in members:
+            label = node.attr
+            attrs = ""
+            if assignment is not None:
+                pd = assignment.node_domains.get(node.node_id)
+                if pd is not None:
+                    label = f"{node.attr}:{pd}"
+                    attrs = (
+                        f', style=filled, fillcolor="{pd_color(pd)}"'
+                    )
+            lines.append(f'    n{node.node_id} [label="{label}"{attrs}];')
+        lines.append("  }")
+    for a, b in graph.equality_edges:
+        lines.append(f"  n{a} -- n{b};")
+    for a, b in graph.assignment_edges:
+        lines.append(f"  n{a} -- n{b} [style=dashed];")
+    if include_conflicts:
+        for a, b in graph.conflict_edges:
+            lines.append(
+                f'  n{a} -- n{b} [style=dotted, color="#cc0000"];'
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

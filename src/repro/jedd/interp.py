@@ -1,0 +1,417 @@
+"""Direct execution of translated Jedd programs.
+
+The paper's jeddc emits Java that calls the Jedd runtime; this module is
+the equivalent execution engine over ``repro.relations``: it walks the
+type-checked AST, carrying the physical-domain assignment computed by
+``repro.jedd.assignment``, and performs exactly the operations the
+generated code would -- including the ``replace`` operations at every
+wrapper whose source and target physical domains differ (all other
+wrappers disappear, as in section 3.3.2).
+
+Variables live in :class:`~repro.relations.containers.RelationContainer`
+objects so reference counts drop as soon as values are overwritten, and
+``free`` statements inserted by the liveness pass release them at their
+last use (section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.jedd import ast
+from repro.jedd.assignment import AssignmentResult
+from repro.jedd.constraints import ConstraintGraph
+from repro.jedd.typecheck import TypedProgram, VarInfo
+from repro.relations import (
+    JeddError,
+    Relation,
+    RelationContainer,
+    Universe,
+)
+
+__all__ = ["Interpreter", "JeddRuntimeError"]
+
+
+class JeddRuntimeError(Exception):
+    """Raised for runtime failures (missing host objects, bad calls)."""
+
+
+class _Return(Exception):
+    """Internal: unwinds a function body on ``return;``."""
+
+
+class Interpreter:
+    """Executes a compiled Jedd program against a fresh universe.
+
+    Parameters
+    ----------
+    tp, graph, assignment:
+        The outputs of the front end (type checking, constraint
+        generation, physical domain assignment).
+    host_env:
+        Objects referenced by name in ``new { obj => attr }`` literals.
+    backend, ordering:
+        Passed to :class:`~repro.relations.domain.Universe`.
+    """
+
+    def __init__(
+        self,
+        tp: TypedProgram,
+        graph: ConstraintGraph,
+        assignment: AssignmentResult,
+        host_env: Optional[Dict[str, Hashable]] = None,
+        backend: str = "bdd",
+        ordering: str = "interleaved",
+        bit_order: Optional[List[List[str]]] = None,
+    ) -> None:
+        self.tp = tp
+        self.graph = graph
+        self.assignment = assignment
+        self.host_env = dict(host_env or {})
+        self.universe = Universe(backend=backend, ordering=ordering)
+        for name, size in tp.domains.items():
+            self.universe.domain(name, size)
+        for name, domain in tp.attributes.items():
+            self.universe.attribute(name, self.universe.get_domain(domain))
+        for name, bits in tp.physdoms.items():
+            self.universe.physical_domain(name, bits)
+        if bit_order is not None:
+            # A user- or advisor-chosen relative bit ordering (3.2.1).
+            self.universe.set_bit_order(bit_order)
+        self.universe.finalize()
+        #: replace operations actually performed (for the Table 2 story
+        #: and the profiler): list of (position, attribute moves) pairs.
+        self.replace_log: List[Tuple[ast.Position, Dict[str, str]]] = []
+        self.globals: Dict[str, RelationContainer] = {}
+        self._init_globals()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def _var_pds(self, info: VarInfo) -> Dict[str, str]:
+        return self.assignment.owner_domains[("var", info.var_id)]
+
+    def _expr_pds(self, expr: ast.Expr) -> Dict[str, str]:
+        return self.assignment.owner_domains[("expr", expr.expr_id)]
+
+    def _wrap_pds(self, expr: ast.Expr) -> Optional[Dict[str, str]]:
+        return self.assignment.owner_domains.get(("wrap", expr.expr_id))
+
+    def _init_globals(self) -> None:
+        for decl in self.tp.program.decls:
+            if isinstance(decl, ast.VarDecl):
+                info = self.tp.lookup_var(None, decl.name)
+                container = RelationContainer(decl.name)
+                self.globals[decl.name] = container
+                if decl.init is not None:
+                    container.set(self._eval_into(decl.init, info, None, {}))
+
+    def global_relation(self, name: str) -> Relation:
+        """Read a global relation after running the program."""
+        container = self.globals.get(name)
+        if container is None:
+            raise JeddRuntimeError(f"no global relation {name!r}")
+        return container.get()
+
+    def set_global(self, name: str, relation: Relation) -> None:
+        """Overwrite a global from host code (inputs to an analysis)."""
+        info = self.tp.lookup_var(None, name)
+        self.globals[name].set(
+            relation.replace(
+                {a: pd for a, pd in self._var_pds(info).items()}
+            )
+        )
+
+    def relation_of(
+        self,
+        attrs: Sequence[str],
+        rows,
+        physdoms: Optional[Sequence[str]] = None,
+    ) -> Relation:
+        """Build an input relation in this interpreter's universe."""
+        return Relation.from_tuples(self.universe, list(attrs), rows, physdoms)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def call(self, name: str, *args: Relation) -> None:
+        """Invoke a Jedd function with host-supplied relation arguments."""
+        func = self.tp.functions.get(name)
+        if func is None:
+            raise JeddRuntimeError(f"no function {name!r}")
+        if len(args) != len(func.params):
+            raise JeddRuntimeError(
+                f"{name} expects {len(func.params)} argument(s), "
+                f"got {len(args)}"
+            )
+        frame: Dict[str, RelationContainer] = {}
+        for param, value in zip(func.params, args):
+            if frozenset(value.schema.names()) != frozenset(param.schema):
+                raise JeddRuntimeError(
+                    f"argument for {param.name} has schema "
+                    f"{value.schema.names()}, expected {param.schema}"
+                )
+            container = RelationContainer(param.name)
+            container.set(
+                value.replace(dict(self._var_pds(param)))
+            )
+            frame[param.name] = container
+        self._run_body(func.decl.body, func.name, frame)
+
+    def _run_body(
+        self, block: ast.Block, func: str, frame: Dict[str, RelationContainer]
+    ) -> None:
+        try:
+            self._exec_block(block, func, frame)
+        except _Return:
+            pass
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _exec_block(
+        self, block: ast.Block, func: Optional[str], frame: Dict
+    ) -> None:
+        for stmt in block.stmts:
+            self._exec_stmt(stmt, func, frame)
+
+    def _lookup_container(
+        self, name: str, func: Optional[str], frame: Dict
+    ) -> RelationContainer:
+        if name in frame:
+            return frame[name]
+        if name in self.globals:
+            return self.globals[name]
+        raise JeddRuntimeError(f"variable {name!r} not bound")
+
+    def _exec_stmt(
+        self, stmt: object, func: Optional[str], frame: Dict
+    ) -> None:
+        # Attribute relational operations to their Jedd program point
+        # (the paper's profiler keys its views by source position).
+        profiler = Relation.profiler
+        pos = getattr(stmt, "pos", None)
+        if profiler is not None and pos is not None:
+            profiler.push_site(f"{func or '<global>'}:{pos}")
+            try:
+                self._exec_stmt_inner(stmt, func, frame)
+            finally:
+                profiler.pop_site()
+        else:
+            self._exec_stmt_inner(stmt, func, frame)
+
+    def _exec_stmt_inner(
+        self, stmt: object, func: Optional[str], frame: Dict
+    ) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            info = self.tp.lookup_var(func, stmt.name)
+            container = frame.get(stmt.name)
+            if container is None or not container.is_set():
+                container = RelationContainer(stmt.name)
+                frame[stmt.name] = container
+            if stmt.init is not None:
+                container.set(self._eval_into(stmt.init, info, func, frame))
+        elif isinstance(stmt, ast.AssignStmt):
+            info = self.tp.lookup_var(func, stmt.target)
+            container = self._lookup_container(stmt.target, func, frame)
+            value = self._eval_into(stmt.value, info, func, frame)
+            if stmt.op == "=":
+                container.set(value)
+            elif stmt.op == "|=":
+                container.set(container.get() | value)
+            elif stmt.op == "&=":
+                container.set(container.get() & value)
+            elif stmt.op == "-=":
+                container.set(container.get() - value)
+            else:  # pragma: no cover
+                raise JeddRuntimeError(f"unknown assignment {stmt.op}")
+        elif isinstance(stmt, ast.CallStmt):
+            self._exec_call(stmt, func, frame)
+        elif isinstance(stmt, ast.IfStmt):
+            if self._eval_cond(stmt.cond, func, frame):
+                self._exec_block(stmt.then_block, func, dict(frame))
+            elif stmt.else_block is not None:
+                self._exec_block(stmt.else_block, func, dict(frame))
+        elif isinstance(stmt, ast.WhileStmt):
+            while self._eval_cond(stmt.cond, func, frame):
+                self._exec_block(stmt.body, func, frame)
+        elif isinstance(stmt, ast.DoWhileStmt):
+            while True:
+                self._exec_block(stmt.body, func, frame)
+                if not self._eval_cond(stmt.cond, func, frame):
+                    break
+        elif isinstance(stmt, ast.ReturnStmt):
+            raise _Return()
+        elif isinstance(stmt, ast.PrintStmt):
+            value = self._eval(stmt.expr, func, frame)
+            print("" if value is None else str(value))
+        elif isinstance(stmt, ast.FreeStmt):
+            container = frame.get(stmt.name)
+            if container is not None:
+                container.free()
+        else:  # pragma: no cover
+            raise JeddRuntimeError(f"unknown statement {stmt!r}")
+
+    def _exec_call(
+        self, stmt: ast.CallStmt, func: Optional[str], frame: Dict
+    ) -> None:
+        target = self.tp.functions[stmt.name]
+        callee_frame: Dict[str, RelationContainer] = {}
+        for arg, param in zip(stmt.args, target.params):
+            value = self._eval_into(arg, param, func, frame)
+            container = RelationContainer(param.name)
+            container.set(value)
+            callee_frame[param.name] = container
+        self._run_body(target.decl.body, target.name, callee_frame)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _eval_into(
+        self,
+        expr: ast.Expr,
+        target: VarInfo,
+        func: Optional[str],
+        frame: Dict,
+    ) -> Relation:
+        """Evaluate ``expr`` and move it into ``target``'s domains."""
+        target_pds = self._var_pds(target)
+        if isinstance(expr, ast.ConstRel):
+            attrs = list(target.schema)
+            pds = [target_pds[a] for a in attrs]
+            maker = Relation.full if expr.full else Relation.empty
+            return maker(self.universe, attrs, pds)
+        value = self._eval(expr, func, frame)
+        return self._to_wrapper(expr, value, target_pds)
+
+    def _to_wrapper(
+        self,
+        expr: ast.Expr,
+        value: Relation,
+        target_pds: Dict[str, str],
+    ) -> Relation:
+        """Apply the wrapper replace above ``expr`` if domains moved."""
+        source_pds = self._expr_pds(expr)
+        moves = {
+            attr: pd
+            for attr, pd in target_pds.items()
+            if source_pds.get(attr) != pd
+        }
+        if moves:
+            self.replace_log.append((expr.pos, moves))
+            return value.replace(moves)
+        return value
+
+    def _eval_cond(
+        self, cond: ast.Compare, func: Optional[str], frame: Dict
+    ) -> bool:
+        left_const = isinstance(cond.left, ast.ConstRel)
+        right_const = isinstance(cond.right, ast.ConstRel)
+        if left_const and right_const:  # rejected by the type checker
+            raise JeddRuntimeError("comparison of two constants")
+        if left_const or right_const:
+            const = cond.left if left_const else cond.right
+            other = self._eval(
+                cond.right if left_const else cond.left, func, frame
+            )
+            if const.full:
+                full = Relation.full(
+                    self.universe,
+                    list(other.schema.names()),
+                    [
+                        other.schema.physdom(a).name
+                        for a in other.schema.names()
+                    ],
+                )
+                result = other == full
+            else:
+                result = other.is_empty()
+        else:
+            left = self._eval(cond.left, func, frame)
+            right = self._eval(cond.right, func, frame)
+            result = left == right
+        return result if cond.op == "==" else not result
+
+    def _eval(
+        self, expr: ast.Expr, func: Optional[str], frame: Dict
+    ) -> Relation:
+        """Evaluate with this expression's assigned physical domains."""
+        if isinstance(expr, ast.VarRef):
+            container = self._lookup_container(expr.name, func, frame)
+            # Equality edges force a use into its variable's domains.
+            return container.get()
+        if isinstance(expr, ast.NewRel):
+            pds = self._expr_pds(expr)
+            values: Dict[str, Hashable] = {}
+            for piece in expr.pieces:
+                if piece.is_string:
+                    obj: Hashable = piece.value
+                else:
+                    if piece.value not in self.host_env:
+                        raise JeddRuntimeError(
+                            f"host object {piece.value!r} not provided "
+                            f"(literal at {piece.pos})"
+                        )
+                    obj = self.host_env[piece.value]
+                values[piece.attr] = obj
+            return Relation.from_tuple(
+                self.universe, values, {a: pds[a] for a in values}
+            )
+        if isinstance(expr, ast.SetOp):
+            pds = self._expr_pds(expr)
+            left = self._branch(expr.left, pds, func, frame)
+            right = self._branch(expr.right, pds, func, frame)
+            if expr.op == "|":
+                return left | right
+            if expr.op == "&":
+                return left & right
+            return left - right
+        if isinstance(expr, ast.ReplaceOp):
+            value = self._branch_to_wrapper(expr.operand, func, frame)
+            own_pds = self._expr_pds(expr)
+            for rep in expr.replacements:
+                if not rep.targets:
+                    value = value.project_away(rep.source)
+                elif len(rep.targets) == 1:
+                    if rep.targets[0] != rep.source:
+                        value = value.rename({rep.source: rep.targets[0]})
+                else:
+                    b, c = rep.targets
+                    value = value.copy(rep.source, [b, c], [own_pds[c]])
+            return value
+        if isinstance(expr, ast.JoinOp):
+            left = self._branch_to_wrapper(expr.left, func, frame)
+            right = self._branch_to_wrapper(expr.right, func, frame)
+            if expr.op == "><":
+                return left.join(right, expr.left_attrs, expr.right_attrs)
+            return left.compose(right, expr.left_attrs, expr.right_attrs)
+        if isinstance(expr, ast.ConstRel):
+            raise JeddRuntimeError(
+                f"relation constant needs a context at {expr.pos}"
+            )
+        raise JeddRuntimeError(f"unknown expression {type(expr).__name__}")
+
+    def _branch(
+        self,
+        child: ast.Expr,
+        parent_pds: Dict[str, str],
+        func: Optional[str],
+        frame: Dict,
+    ) -> Relation:
+        """Evaluate a set-operation operand and align it to the parent."""
+        value = self._eval(child, func, frame)
+        return self._to_wrapper(child, value, parent_pds)
+
+    def _branch_to_wrapper(
+        self, child: ast.Expr, func: Optional[str], frame: Dict
+    ) -> Relation:
+        """Evaluate an operand and move it into its wrapper's domains."""
+        value = self._eval(child, func, frame)
+        wrap_pds = self._wrap_pds(child)
+        if wrap_pds is None:
+            return value
+        return self._to_wrapper(child, value, wrap_pds)

@@ -1,0 +1,151 @@
+"""Tokenizer for the Jedd mini-language.
+
+Recognises the relational symbols added by Figure 5 of the paper
+(``><``, ``<>``, ``=>``, ``0B``, ``1B``) along with ordinary identifiers,
+integers, strings, and punctuation.  Java-style ``//`` and ``/* */``
+comments are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.jedd.ast import Position
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "domain",
+    "attribute",
+    "physdom",
+    "def",
+    "if",
+    "else",
+    "while",
+    "do",
+    "return",
+    "new",
+    "print",
+    "free",
+}
+
+# Multi-character symbols, longest first so maximal munch works.
+_SYMBOLS = [
+    "|=",
+    "&=",
+    "-=",
+    "==",
+    "!=",
+    "=>",
+    "><",
+    "<>",
+    "<",
+    ">",
+    "{",
+    "}",
+    "(",
+    ")",
+    ",",
+    ";",
+    ":",
+    "=",
+    "|",
+    "&",
+    "-",
+]
+
+
+class LexError(Exception):
+    """Raised on unrecognised input."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its kind, text, and source position."""
+
+    kind: str  # "ident", "keyword", "int", "string", "relconst", symbol, "eof"
+    text: str
+    pos: Position
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; always ends with an ``eof`` token."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            advance((end if end != -1 else n) - i)
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexError(f"unterminated comment at {line},{col}")
+            advance(end + 2 - i)
+            continue
+        pos = Position(line, col)
+        if ch == '"':
+            j = i + 1
+            while j < n and source[j] != '"':
+                if source[j] == "\n":
+                    raise LexError(f"unterminated string at {pos}")
+                j += 1
+            if j >= n:
+                raise LexError(f"unterminated string at {pos}")
+            text = source[i + 1 : j]
+            advance(j + 1 - i)
+            yield Token("string", text, pos)
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            # The relation constants 0B and 1B (paper section 2.1).
+            if j < n and source[j] == "B" and source[i:j] in ("0", "1"):
+                text = source[i : j + 1]
+                advance(j + 1 - i)
+                yield Token("relconst", text, pos)
+                continue
+            text = source[i:j]
+            advance(j - i)
+            yield Token("int", text, pos)
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            advance(j - i)
+            kind = "keyword" if text in KEYWORDS else "ident"
+            yield Token(kind, text, pos)
+            continue
+        for sym in _SYMBOLS:
+            if source.startswith(sym, i):
+                advance(len(sym))
+                yield Token(sym, sym, pos)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r} at {pos}")
+    yield Token("eof", "", Position(line, col))

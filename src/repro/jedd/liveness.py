@@ -1,0 +1,168 @@
+"""Static liveness analysis on relation variables (section 4.2).
+
+BDD nodes should be released as soon as possible -- waiting for a
+finalizer can leave large dead diagrams polluting the node table and
+operation caches.  The paper's translator runs a liveness analysis over
+all relation variables and decrements reference counts at each point
+where a variable may become dead.  Here the same analysis runs over the
+structured AST and inserts explicit ``free`` statements after the last
+use of every local variable and parameter (globals are never freed:
+their lifetime is the program's).
+
+The analysis is a standard backward may-liveness over the structured
+control flow; loop bodies are iterated to a fixpoint so a use in a later
+iteration keeps a variable alive across the loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.jedd import ast
+from repro.jedd.typecheck import TypedProgram
+
+__all__ = ["insert_frees", "expr_uses"]
+
+
+def expr_uses(expr: ast.Expr) -> Set[str]:
+    """Variable names read by an expression."""
+    if isinstance(expr, ast.VarRef):
+        return {expr.name}
+    if isinstance(expr, (ast.ConstRel, ast.NewRel)):
+        return set()
+    if isinstance(expr, ast.SetOp):
+        return expr_uses(expr.left) | expr_uses(expr.right)
+    if isinstance(expr, ast.ReplaceOp):
+        return expr_uses(expr.operand)
+    if isinstance(expr, ast.JoinOp):
+        return expr_uses(expr.left) | expr_uses(expr.right)
+    if isinstance(expr, ast.Compare):
+        return expr_uses(expr.left) | expr_uses(expr.right)
+    return set()
+
+
+def _stmt_uses(stmt: object) -> Set[str]:
+    if isinstance(stmt, ast.VarDecl):
+        return expr_uses(stmt.init) if stmt.init is not None else set()
+    if isinstance(stmt, ast.AssignStmt):
+        uses = expr_uses(stmt.value)
+        if stmt.op != "=":
+            uses = uses | {stmt.target}  # compound assignment reads too
+        return uses
+    if isinstance(stmt, ast.CallStmt):
+        out: Set[str] = set()
+        for arg in stmt.args:
+            out |= expr_uses(arg)
+        return out
+    if isinstance(stmt, ast.PrintStmt):
+        return expr_uses(stmt.expr)
+    return set()
+
+
+def _stmt_defs(stmt: object) -> Set[str]:
+    if isinstance(stmt, ast.VarDecl):
+        return {stmt.name}
+    if isinstance(stmt, ast.AssignStmt) and stmt.op == "=":
+        return {stmt.target}
+    return set()
+
+
+class _Liveness:
+    def __init__(self, locals_: Set[str]) -> None:
+        self.locals = locals_
+
+    # -- pure liveness computation ----------------------------------------
+
+    def live_block(self, block: ast.Block, live_out: frozenset) -> frozenset:
+        live = live_out
+        for stmt in reversed(block.stmts):
+            live = self.live_stmt(stmt, live)
+        return live
+
+    def live_stmt(self, stmt: object, live_out: frozenset) -> frozenset:
+        if isinstance(stmt, ast.IfStmt):
+            then_in = self.live_block(stmt.then_block, live_out)
+            else_in = (
+                self.live_block(stmt.else_block, live_out)
+                if stmt.else_block is not None
+                else live_out
+            )
+            return then_in | else_in | expr_uses(stmt.cond)
+        if isinstance(stmt, ast.WhileStmt):
+            live = live_out | expr_uses(stmt.cond)
+            while True:
+                nxt = (
+                    live_out
+                    | expr_uses(stmt.cond)
+                    | self.live_block(stmt.body, live)
+                )
+                if nxt == live:
+                    return live
+                live = nxt
+        if isinstance(stmt, ast.DoWhileStmt):
+            live = live_out | expr_uses(stmt.cond)
+            while True:
+                body_in = self.live_block(stmt.body, live)
+                nxt = live_out | expr_uses(stmt.cond) | body_in
+                if nxt == live:
+                    return body_in
+                live = nxt
+        if isinstance(stmt, ast.FreeStmt):
+            return live_out - {stmt.name}
+        return (live_out - _stmt_defs(stmt)) | _stmt_uses(stmt)
+
+    # -- free insertion ----------------------------------------------------
+
+    def rewrite_block(
+        self, block: ast.Block, live_out: frozenset
+    ) -> frozenset:
+        """Insert frees into this block; returns its live-in set."""
+        new_stmts: List[object] = []
+        # Compute per-statement live-out sets front-to-back by first
+        # computing live-in sets back-to-front.
+        live_after: List[frozenset] = []
+        live = live_out
+        for stmt in reversed(block.stmts):
+            live_after.append(live)
+            live = self.live_stmt(stmt, live)
+        live_after.reverse()
+        live_in_block = live
+        for stmt, after in zip(block.stmts, live_after):
+            before = self.live_stmt(stmt, after)
+            if isinstance(stmt, ast.IfStmt):
+                self.rewrite_block(stmt.then_block, after)
+                if stmt.else_block is not None:
+                    self.rewrite_block(stmt.else_block, after)
+            elif isinstance(stmt, ast.WhileStmt):
+                # live at loop exit plus next-iteration needs
+                self.rewrite_block(
+                    stmt.body,
+                    self.live_stmt(stmt, after) | after,
+                )
+            elif isinstance(stmt, ast.DoWhileStmt):
+                self.rewrite_block(
+                    stmt.body,
+                    expr_uses(stmt.cond)
+                    | after
+                    | self.live_stmt(stmt, after),
+                )
+            new_stmts.append(stmt)
+            # A local mentioned by this statement but dead afterwards is
+            # released immediately (death cases 2 and 3 of section 4.2).
+            dead = ((before | _stmt_defs(stmt)) - after) & self.locals
+            for name in sorted(dead):
+                new_stmts.append(ast.FreeStmt(name, block.pos))
+        block.stmts = new_stmts
+        return live_in_block
+
+
+def insert_frees(tp: TypedProgram) -> None:
+    """Insert ``free`` statements after last uses in every function."""
+    for func in tp.functions.values():
+        local_names = {
+            name
+            for (owner, name) in tp.variables
+            if owner == func.name
+        }
+        analysis = _Liveness(local_names)
+        analysis.rewrite_block(func.decl.body, frozenset())

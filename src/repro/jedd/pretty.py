@@ -1,0 +1,136 @@
+"""Pretty-printer: AST back to Jedd source.
+
+Used for diagnostics (error messages quote expressions), for the
+``jeddc`` CLI's ``--dump-ast`` mode, and by the test suite's round-trip
+property: ``parse(pretty(parse(src)))`` must produce an equivalent AST.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.jedd import ast
+
+__all__ = ["pretty_program", "pretty_expr", "pretty_stmt"]
+
+_INDENT = "  "
+
+
+def _rel_type(rel_type: ast.RelationType) -> str:
+    parts = []
+    for spec in rel_type.specs:
+        if spec.physdom:
+            parts.append(f"{spec.attr}:{spec.physdom}")
+        else:
+            parts.append(spec.attr)
+    return "<" + ", ".join(parts) + ">"
+
+
+def pretty_expr(expr: ast.Expr) -> str:
+    """Render an expression; parenthesises conservatively."""
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.ConstRel):
+        return "1B" if expr.full else "0B"
+    if isinstance(expr, ast.NewRel):
+        pieces = []
+        for piece in expr.pieces:
+            obj = f'"{piece.value}"' if piece.is_string else piece.value
+            target = piece.attr
+            if piece.physdom:
+                target += f":{piece.physdom}"
+            pieces.append(f"{obj} => {target}")
+        return "new { " + ", ".join(pieces) + " }"
+    if isinstance(expr, ast.SetOp):
+        return (
+            f"({pretty_expr(expr.left)} {expr.op} "
+            f"{pretty_expr(expr.right)})"
+        )
+    if isinstance(expr, ast.JoinOp):
+        la = "{" + ", ".join(expr.left_attrs) + "}"
+        ra = "{" + ", ".join(expr.right_attrs) + "}"
+        return (
+            f"({pretty_expr(expr.left)}{la} {expr.op} "
+            f"{pretty_expr(expr.right)}{ra})"
+        )
+    if isinstance(expr, ast.ReplaceOp):
+        reps = []
+        for rep in expr.replacements:
+            reps.append(f"{rep.source}=>{' '.join(rep.targets)}".rstrip())
+        return f"({', '.join(reps)}) {pretty_expr(expr.operand)}"
+    if isinstance(expr, ast.Compare):
+        return (
+            f"{pretty_expr(expr.left)} {expr.op} {pretty_expr(expr.right)}"
+        )
+    raise TypeError(f"cannot pretty-print {type(expr).__name__}")
+
+
+def pretty_stmt(stmt: object, depth: int = 0) -> List[str]:
+    """Render a statement as indented source lines."""
+    pad = _INDENT * depth
+    if isinstance(stmt, ast.VarDecl):
+        head = f"{pad}{_rel_type(stmt.rel_type)} {stmt.name}"
+        if stmt.init is not None:
+            return [f"{head} = {pretty_expr(stmt.init)};"]
+        return [f"{head};"]
+    if isinstance(stmt, ast.AssignStmt):
+        return [f"{pad}{stmt.target} {stmt.op} {pretty_expr(stmt.value)};"]
+    if isinstance(stmt, ast.CallStmt):
+        args = ", ".join(pretty_expr(a) for a in stmt.args)
+        return [f"{pad}{stmt.name}({args});"]
+    if isinstance(stmt, ast.IfStmt):
+        lines = [f"{pad}if ({pretty_expr(stmt.cond)}) {{"]
+        for inner in stmt.then_block.stmts:
+            lines.extend(pretty_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        if stmt.else_block is not None:
+            lines[-1] = f"{pad}}} else {{"
+            for inner in stmt.else_block.stmts:
+                lines.extend(pretty_stmt(inner, depth + 1))
+            lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.WhileStmt):
+        lines = [f"{pad}while ({pretty_expr(stmt.cond)}) {{"]
+        for inner in stmt.body.stmts:
+            lines.extend(pretty_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.DoWhileStmt):
+        lines = [f"{pad}do {{"]
+        for inner in stmt.body.stmts:
+            lines.extend(pretty_stmt(inner, depth + 1))
+        lines.append(f"{pad}}} while ({pretty_expr(stmt.cond)});")
+        return lines
+    if isinstance(stmt, ast.ReturnStmt):
+        return [f"{pad}return;"]
+    if isinstance(stmt, ast.PrintStmt):
+        return [f"{pad}print({pretty_expr(stmt.expr)});"]
+    if isinstance(stmt, ast.FreeStmt):
+        return [f"{pad}free {stmt.name};"]
+    raise TypeError(f"cannot pretty-print {type(stmt).__name__}")
+
+
+def pretty_program(program: ast.Program) -> str:
+    """Render a whole program as Jedd source."""
+    lines: List[str] = []
+    for decl in program.decls:
+        if isinstance(decl, ast.DomainDecl):
+            lines.append(f"domain {decl.name} {decl.size};")
+        elif isinstance(decl, ast.AttributeDecl):
+            lines.append(f"attribute {decl.name} : {decl.domain};")
+        elif isinstance(decl, ast.PhysDomDecl):
+            lines.append(f"physdom {decl.name} {decl.bits};")
+        elif isinstance(decl, ast.VarDecl):
+            lines.extend(pretty_stmt(decl))
+        elif isinstance(decl, ast.FuncDecl):
+            params = ", ".join(
+                f"{_rel_type(p.rel_type)} {p.name}" for p in decl.params
+            )
+            lines.append("")
+            lines.append(f"def {decl.name}({params}) {{")
+            for stmt in decl.body.stmts:
+                lines.extend(pretty_stmt(stmt, 1))
+            lines.append("}")
+        else:
+            raise TypeError(f"cannot pretty-print {type(decl).__name__}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,232 @@
+"""Operation recording for the Jedd profiler (section 4.3).
+
+In the paper, the runtime library optionally calls a profiler which
+records, for each relational operation, the time taken and the number
+of nodes and shape of the operand and result BDDs.  Here the profiler
+instruments the public :class:`~repro.relations.relation.Relation`
+operations (install/uninstall monkey-patch the methods), accumulating
+:class:`ProfileEvent` records that the SQL and HTML modules persist and
+render.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.relations.relation import Relation
+
+__all__ = ["ProfileEvent", "Profiler"]
+
+#: The relational operations the profiler wraps.
+_INSTRUMENTED = [
+    "union",
+    "intersect",
+    "difference",
+    "project_away",
+    "rename",
+    "copy",
+    "join",
+    "compose",
+    "replace",
+]
+
+
+@dataclass
+class ProfileEvent:
+    """One execution of one relational operation."""
+
+    op: str
+    seconds: float
+    operand_nodes: Tuple[int, ...]
+    result_nodes: int
+    result_tuples: int
+    #: node count per level of the result diagram (the BDD "shape")
+    shape: Optional[List[int]] = None
+    #: source program point ("line,column") when executing Jedd code,
+    #: or a host-supplied section label -- the paper's profiler keys its
+    #: views by the operation *in the program*, not just the kind of op
+    site: str = ""
+
+
+@dataclass
+class _OpSummary:
+    count: int = 0
+    total_seconds: float = 0.0
+    max_nodes: int = 0
+
+
+class Profiler:
+    """Collects relational-operation events.
+
+    Use as a context manager (``with Profiler() as prof:``) or call
+    :meth:`install`/:meth:`uninstall` explicitly.  ``record_shapes``
+    controls whether per-level shapes are captured (they cost a diagram
+    traversal per operation).
+    """
+
+    def __init__(self, record_shapes: bool = True) -> None:
+        self.record_shapes = record_shapes
+        self.events: List[ProfileEvent] = []
+        self._saved: Dict[str, object] = {}
+        self._installed = False
+        self._site_stack: List[str] = []
+
+    # -- program point attribution ----------------------------------------
+
+    def push_site(self, site: str) -> None:
+        """Enter a program point; the interpreter pushes the source
+        position of each Jedd statement, host code may push labels."""
+        self._site_stack.append(site)
+
+    def pop_site(self) -> None:
+        """Leave the innermost program point."""
+        if self._site_stack:
+            self._site_stack.pop()
+
+    def current_site(self) -> str:
+        """The innermost active program point ("" when outside any)."""
+        return self._site_stack[-1] if self._site_stack else ""
+
+    def site(self, label: str):
+        """Context manager labelling a host-code section."""
+        profiler = self
+
+        class _Site:
+            def __enter__(self_inner):
+                profiler.push_site(label)
+                return profiler
+
+            def __exit__(self_inner, *exc):
+                profiler.pop_site()
+
+        return _Site()
+
+    # -- instrumentation ---------------------------------------------------
+
+    def install(self) -> "Profiler":
+        """Wrap the Relation operations to report to this profiler."""
+        if self._installed:
+            return self
+        for name in _INSTRUMENTED:
+            original = getattr(Relation, name)
+            self._saved[name] = original
+            setattr(Relation, name, self._wrap(name, original))
+        Relation.profiler = self
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the original methods."""
+        if not self._installed:
+            return
+        for name, original in self._saved.items():
+            setattr(Relation, name, original)
+        self._saved.clear()
+        Relation.profiler = None
+        self._installed = False
+
+    def __enter__(self) -> "Profiler":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    def _wrap(self, name: str, original):
+        profiler = self
+
+        @functools.wraps(original)
+        def wrapper(self_rel, *args, **kwargs):
+            operands = [self_rel.node_count()]
+            for arg in args:
+                if isinstance(arg, Relation):
+                    operands.append(arg.node_count())
+            start = perf_counter()
+            result = original(self_rel, *args, **kwargs)
+            elapsed = perf_counter() - start
+            profiler.events.append(
+                ProfileEvent(
+                    op=name,
+                    seconds=elapsed,
+                    operand_nodes=tuple(operands),
+                    result_nodes=result.node_count(),
+                    result_tuples=result.size(),
+                    shape=result.shape() if profiler.record_shapes else None,
+                    site=profiler.current_site(),
+                )
+            )
+            return result
+
+        return wrapper
+
+    def record_replace(self, relation: Relation, perm: Dict) -> None:
+        """Hook kept for the runtime's internal replace notifications.
+
+        The wrapped ``replace`` method already records the event; this
+        hook exists so uninstrumented runs with ``Relation.profiler``
+        set still count implicit replaces.
+        """
+        if not self._installed:
+            self.events.append(
+                ProfileEvent(
+                    op="replace",
+                    seconds=0.0,
+                    operand_nodes=(relation.node_count(),),
+                    result_nodes=relation.node_count(),
+                    result_tuples=0,
+                )
+            )
+
+    # -- aggregation ---------------------------------------------------------
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """The paper's overall profile view: per operation, the number
+        of executions, total time, and maximum BDD size."""
+        out: Dict[str, _OpSummary] = {}
+        for event in self.events:
+            agg = out.setdefault(event.op, _OpSummary())
+            agg.count += 1
+            agg.total_seconds += event.seconds
+            agg.max_nodes = max(
+                agg.max_nodes, event.result_nodes, *event.operand_nodes
+            )
+        return {
+            op: {
+                "count": agg.count,
+                "total_seconds": agg.total_seconds,
+                "max_nodes": agg.max_nodes,
+            }
+            for op, agg in sorted(out.items())
+        }
+
+    def summary_by_site(self) -> Dict[Tuple[str, str], Dict[str, float]]:
+        """Aggregation keyed by (program point, operation) -- the
+        overall profile view of section 4.3, which lists each relational
+        operation *in the program* with execution count, total time and
+        maximum BDD size."""
+        out: Dict[Tuple[str, str], _OpSummary] = {}
+        for event in self.events:
+            agg = out.setdefault((event.site, event.op), _OpSummary())
+            agg.count += 1
+            agg.total_seconds += event.seconds
+            agg.max_nodes = max(
+                agg.max_nodes, event.result_nodes, *event.operand_nodes
+            )
+        return {
+            key: {
+                "count": agg.count,
+                "total_seconds": agg.total_seconds,
+                "max_nodes": agg.max_nodes,
+            }
+            for key, agg in sorted(out.items())
+        }
+
+    def total_time(self) -> float:
+        """Sum of all recorded operation times in seconds."""
+        return sum(e.seconds for e in self.events)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()

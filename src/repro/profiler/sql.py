@@ -1,0 +1,113 @@
+"""SQL persistence of profile data (section 4.3).
+
+The paper writes profile information "as an SQL file to be loaded into
+a database, which provides a flexible data store on which arbitrary
+queries can be performed" (SQLite in the authors' setup).  This module
+stores events into sqlite3 (stdlib) with the same spirit: one row per
+execution, shapes in a child table, and a couple of canned queries the
+HTML views are built from.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, List, Tuple
+
+from repro.profiler.recorder import ProfileEvent
+
+__all__ = ["save_events", "load_summary", "load_executions", "load_shape"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS executions (
+    id INTEGER PRIMARY KEY,
+    op TEXT NOT NULL,
+    seconds REAL NOT NULL,
+    operand_nodes TEXT NOT NULL,
+    result_nodes INTEGER NOT NULL,
+    result_tuples INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS shapes (
+    execution_id INTEGER NOT NULL REFERENCES executions(id),
+    level INTEGER NOT NULL,
+    nodes INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_exec_op ON executions(op);
+CREATE INDEX IF NOT EXISTS idx_shape_exec ON shapes(execution_id);
+"""
+
+
+def save_events(db_path: str, events: Iterable[ProfileEvent]) -> int:
+    """Persist events; returns the number of rows written."""
+    conn = sqlite3.connect(db_path)
+    try:
+        conn.executescript(_SCHEMA)
+        count = 0
+        for event in events:
+            cur = conn.execute(
+                "INSERT INTO executions "
+                "(op, seconds, operand_nodes, result_nodes, result_tuples) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (
+                    event.op,
+                    event.seconds,
+                    ",".join(str(n) for n in event.operand_nodes),
+                    event.result_nodes,
+                    event.result_tuples,
+                ),
+            )
+            if event.shape is not None:
+                conn.executemany(
+                    "INSERT INTO shapes (execution_id, level, nodes) "
+                    "VALUES (?, ?, ?)",
+                    [
+                        (cur.lastrowid, level, nodes)
+                        for level, nodes in enumerate(event.shape)
+                    ],
+                )
+            count += 1
+        conn.commit()
+        return count
+    finally:
+        conn.close()
+
+
+def load_summary(db_path: str) -> List[Tuple[str, int, float, int]]:
+    """(op, executions, total seconds, max result nodes) per operation."""
+    conn = sqlite3.connect(db_path)
+    try:
+        rows = conn.execute(
+            "SELECT op, COUNT(*), SUM(seconds), MAX(result_nodes) "
+            "FROM executions GROUP BY op ORDER BY SUM(seconds) DESC"
+        ).fetchall()
+        return [(op, int(n), float(t), int(m)) for op, n, t, m in rows]
+    finally:
+        conn.close()
+
+
+def load_executions(
+    db_path: str, op: str
+) -> List[Tuple[int, float, str, int, int]]:
+    """(id, seconds, operand nodes, result nodes, tuples) for one op."""
+    conn = sqlite3.connect(db_path)
+    try:
+        return conn.execute(
+            "SELECT id, seconds, operand_nodes, result_nodes, result_tuples "
+            "FROM executions WHERE op = ? ORDER BY id",
+            (op,),
+        ).fetchall()
+    finally:
+        conn.close()
+
+
+def load_shape(db_path: str, execution_id: int) -> List[int]:
+    """Per-level node counts of one execution's result."""
+    conn = sqlite3.connect(db_path)
+    try:
+        rows = conn.execute(
+            "SELECT level, nodes FROM shapes WHERE execution_id = ? "
+            "ORDER BY level",
+            (execution_id,),
+        ).fetchall()
+        return [nodes for _, nodes in rows]
+    finally:
+        conn.close()

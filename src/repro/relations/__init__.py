@@ -1,0 +1,32 @@
+"""The Jedd relational runtime: typed relations over decision diagrams.
+
+This package is the reproduction of the Jedd runtime library (paper
+sections 2 and 4): domains, attributes, physical domains, the relation
+data type with its full operation set, pluggable BDD/ZDD backends, and
+reference-count-managing containers.
+"""
+
+from repro.relations.backend import BDDBackend, DiagramBackend, ZDDBackend, make_backend
+from repro.relations.containers import RelationContainer
+from repro.relations.domain import Attribute, Domain, JeddError, PhysicalDomain, Universe
+from repro.relations.io import load_checkpoint, load_tsv, save_checkpoint, save_tsv
+from repro.relations.relation import Relation, Schema
+
+__all__ = [
+    "Attribute",
+    "BDDBackend",
+    "DiagramBackend",
+    "Domain",
+    "JeddError",
+    "PhysicalDomain",
+    "Relation",
+    "RelationContainer",
+    "Schema",
+    "Universe",
+    "ZDDBackend",
+    "load_checkpoint",
+    "load_tsv",
+    "save_checkpoint",
+    "save_tsv",
+    "make_backend",
+]

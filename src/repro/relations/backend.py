@@ -1,0 +1,252 @@
+"""Backend adapters: one relational operation set, two diagram engines.
+
+Section 4.1 of the paper stresses that Jedd programs run unmodified on
+different decision-diagram backends (BuDDy, CUDD, and an in-progress ZDD
+backend).  The relation layer therefore talks to this small adapter
+interface rather than to a manager directly.
+
+The essential semantic difference the adapters hide: in the BDD
+encoding, bits not used by a relation are *wildcards* (any value), so a
+join is a plain conjunction; in the ZDD encoding an absent bit means
+**0**, so the adapter inserts explicit don't-care expansion over the
+other operand's private bits before intersecting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+from repro.bdd import FALSE, TRUE, BDDManager, ZDDManager
+from repro.bdd.zdd import BASE, EMPTY
+
+__all__ = ["DiagramBackend", "BDDBackend", "ZDDBackend", "make_backend"]
+
+
+class DiagramBackend:
+    """Abstract relational operations over diagram node handles."""
+
+    name = "abstract"
+
+    def __init__(self, manager) -> None:
+        self.manager = manager
+
+    # Constants ---------------------------------------------------------
+    def empty(self) -> int:
+        """Handle of the empty relation (0B)."""
+        raise NotImplementedError
+
+    def full(self, levels: Sequence[int]) -> int:
+        """Handle of the full relation (1B) over the given used levels."""
+        raise NotImplementedError
+
+    # Construction ------------------------------------------------------
+    def cube(self, assignment: Dict[int, bool]) -> int:
+        """Single tuple: a complete assignment of the used levels."""
+        raise NotImplementedError
+
+    # Set algebra (operands must use the same level set) ----------------
+    def union(self, a: int, b: int) -> int:
+        raise NotImplementedError
+
+    def intersect(self, a: int, b: int) -> int:
+        raise NotImplementedError
+
+    def diff(self, a: int, b: int) -> int:
+        raise NotImplementedError
+
+    # Attribute operations ----------------------------------------------
+    def project(self, a: int, levels: Iterable[int]) -> int:
+        """Remove the given levels (existential quantification)."""
+        raise NotImplementedError
+
+    def match(
+        self,
+        a: int,
+        b: int,
+        cmp_levels: Sequence[int],
+        a_only_levels: Sequence[int],
+        b_only_levels: Sequence[int],
+        quantify: bool,
+    ) -> int:
+        """Join (``quantify=False``) or compose (``True``) at diagram level.
+
+        ``cmp_levels`` are shared by both operands (the compared
+        attributes, pre-aligned to the same physical domains);
+        ``a_only_levels``/``b_only_levels`` are private to one operand.
+        """
+        raise NotImplementedError
+
+    def replace(self, a: int, perm: Dict[int, int]) -> int:
+        """Move bits between physical domains (level permutation)."""
+        raise NotImplementedError
+
+    def equality(
+        self,
+        levels_a: Sequence[int],
+        levels_b: Sequence[int],
+        values: Sequence[int],
+    ) -> int:
+        """Relation {(v, v)} used for attribute copying.
+
+        ``levels_a[j]``/``levels_b[j]`` hold bit j.  ``values`` lists the
+        interned integer encodings present in the attribute's domain (the
+        BDD backend may ignore it and equate all bit patterns).
+        """
+        raise NotImplementedError
+
+    # Inspection ----------------------------------------------------------
+    def count(self, a: int, levels: Sequence[int]) -> int:
+        """Number of tuples over the given used levels."""
+        raise NotImplementedError
+
+    def all_sat(
+        self, a: int, levels: Sequence[int]
+    ) -> Iterator[Dict[int, bool]]:
+        """Iterate complete assignments of the used levels."""
+        raise NotImplementedError
+
+    def node_count(self, a: int) -> int:
+        return self.manager.node_count(a)
+
+    def shape(self, a: int) -> List[int]:
+        return self.manager.shape(a)
+
+    # Memory management ---------------------------------------------------
+    def ref(self, a: int) -> int:
+        return self.manager.ref(a)
+
+    def deref(self, a: int) -> None:
+        self.manager.deref(a)
+
+    def maybe_gc(self) -> bool:
+        return self.manager.maybe_gc()
+
+
+class BDDBackend(DiagramBackend):
+    """Adapter over :class:`repro.bdd.BDDManager` (the BuDDy/CUDD role)."""
+
+    name = "bdd"
+
+    def __init__(self, manager: BDDManager) -> None:
+        super().__init__(manager)
+
+    def empty(self) -> int:
+        return FALSE
+
+    def full(self, levels: Sequence[int]) -> int:
+        # Unused bits are wildcards, so the full relation is just TRUE.
+        return TRUE
+
+    def cube(self, assignment: Dict[int, bool]) -> int:
+        return self.manager.cube(assignment)
+
+    def union(self, a: int, b: int) -> int:
+        return self.manager.apply_or(a, b)
+
+    def intersect(self, a: int, b: int) -> int:
+        return self.manager.apply_and(a, b)
+
+    def diff(self, a: int, b: int) -> int:
+        return self.manager.apply_diff(a, b)
+
+    def project(self, a: int, levels: Iterable[int]) -> int:
+        return self.manager.exist(a, levels)
+
+    def match(self, a, b, cmp_levels, a_only_levels, b_only_levels, quantify):
+        # Private bits are wildcards in the other operand: plain AND works
+        # (paper 3.2.2); compose fuses the projection (bdd_appex).
+        if quantify:
+            return self.manager.and_exist(a, b, cmp_levels)
+        return self.manager.apply_and(a, b)
+
+    def replace(self, a: int, perm: Dict[int, int]) -> int:
+        return self.manager.replace(a, perm)
+
+    def equality(self, levels_a, levels_b, values) -> int:
+        node = TRUE
+        for la, lb in zip(levels_a, levels_b):
+            both = self.manager.apply_and(
+                self.manager.var(la), self.manager.var(lb)
+            )
+            neither = self.manager.apply_and(
+                self.manager.nvar(la), self.manager.nvar(lb)
+            )
+            node = self.manager.apply_and(
+                node, self.manager.apply_or(both, neither)
+            )
+        return node
+
+    def count(self, a: int, levels: Sequence[int]) -> int:
+        return self.manager.sat_count(a, levels)
+
+    def all_sat(self, a, levels):
+        return self.manager.all_sat(a, levels)
+
+
+class ZDDBackend(DiagramBackend):
+    """Adapter over :class:`repro.bdd.ZDDManager` (section 4.1's ZDD plan)."""
+
+    name = "zdd"
+
+    def __init__(self, manager: ZDDManager) -> None:
+        super().__init__(manager)
+
+    def empty(self) -> int:
+        return EMPTY
+
+    def full(self, levels: Sequence[int]) -> int:
+        return self.manager.dontcare(BASE, levels)
+
+    def cube(self, assignment: Dict[int, bool]) -> int:
+        return self.manager.cube(assignment)
+
+    def union(self, a: int, b: int) -> int:
+        return self.manager.union(a, b)
+
+    def intersect(self, a: int, b: int) -> int:
+        return self.manager.intersect(a, b)
+
+    def diff(self, a: int, b: int) -> int:
+        return self.manager.diff(a, b)
+
+    def project(self, a: int, levels: Iterable[int]) -> int:
+        return self.manager.exist(a, levels)
+
+    def match(self, a, b, cmp_levels, a_only_levels, b_only_levels, quantify):
+        # Absent bits mean 0 in ZDDs, so each operand must be expanded
+        # over the other's private bits before intersecting.
+        a_exp = self.manager.dontcare(a, b_only_levels)
+        b_exp = self.manager.dontcare(b, a_only_levels)
+        joined = self.manager.intersect(a_exp, b_exp)
+        if quantify:
+            return self.manager.exist(joined, cmp_levels)
+        return joined
+
+    def replace(self, a: int, perm: Dict[int, int]) -> int:
+        return self.manager.replace(a, perm)
+
+    def equality(self, levels_a, levels_b, values) -> int:
+        node = EMPTY
+        for value in values:
+            assignment = {}
+            for j, (la, lb) in enumerate(zip(levels_a, levels_b)):
+                bit = bool(value >> j & 1)
+                assignment[la] = bit
+                assignment[lb] = bit
+            node = self.manager.union(node, self.manager.cube(assignment))
+        return node
+
+    def count(self, a: int, levels: Sequence[int]) -> int:
+        return self.manager.count(a)
+
+    def all_sat(self, a, levels):
+        return self.manager.all_sat(a, levels)
+
+
+def make_backend(manager) -> DiagramBackend:
+    """Wrap a manager in the matching adapter."""
+    if isinstance(manager, BDDManager):
+        return BDDBackend(manager)
+    if isinstance(manager, ZDDManager):
+        return ZDDBackend(manager)
+    raise TypeError(f"unsupported manager type {type(manager).__name__}")

@@ -1,0 +1,80 @@
+"""Relation containers: eager reference-count management (section 4.2).
+
+BDD libraries reclaim nodes by reference counting, and the paper's
+generated Java code never exposes that burden to the programmer.  For
+each local variable or field of relation type, the generated code
+allocates a *relation container*; the variable points at its container
+for its whole lifetime, and the BDD handle inside is updated only
+through an assignment method that fixes up reference counts.  The four
+ways a BDD can die (intermediate result, overwrite, scope exit, owner
+death) are each covered:
+
+1. intermediate results -- handled by :class:`~repro.relations.relation.
+   Relation` itself (each value holds one reference, dropped when the
+   value dies);
+2. overwrite -- :meth:`RelationContainer.set` releases the old value
+   immediately;
+3. scope exit / last use -- the translator's liveness analysis emits
+   :meth:`RelationContainer.free` at the point a variable may become
+   dead ("we decrement the reference count of any BDD it may contain
+   and remove the BDD from the container"); the container itself stays
+   usable for later assignments, e.g. in the next loop iteration;
+4. owner death -- ``__del__`` is the finalizer fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.relations.domain import JeddError
+from repro.relations.relation import Relation
+
+__all__ = ["RelationContainer"]
+
+
+class RelationContainer:
+    """Holds the current value of one relation variable or field."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str = "<anonymous>") -> None:
+        self.name = name
+        self._value: Optional[Relation] = None
+
+    def set(self, value: Optional[Relation]) -> None:
+        """Assign a new relation, eagerly releasing the previous one."""
+        old = self._value
+        self._value = value
+        if old is not None and old is not value:
+            old.release()
+
+    def get(self) -> Relation:
+        """The current relation; reading an unset container is an error."""
+        if self._value is None:
+            raise JeddError(
+                f"container {self.name!r} read before assignment "
+                "(or after its last-use free)"
+            )
+        return self._value
+
+    def is_set(self) -> bool:
+        """Whether the container currently holds a relation."""
+        return self._value is not None
+
+    def free(self) -> None:
+        """Release the held relation now (emitted at last-use points).
+
+        The container remains assignable: a loop may free a temporary at
+        the end of each iteration and refill it in the next.
+        """
+        if self._value is not None:
+            self._value.release()
+            self._value = None
+
+    def __del__(self) -> None:
+        # Finalizer fallback (death case 4); safe if already freed.
+        if self._value is not None:
+            self._value.release()
+
+    def __repr__(self) -> str:
+        return f"RelationContainer({self.name!r}, {self._value!r})"

@@ -1,0 +1,85 @@
+"""Relation persistence: TSV tuples and raw diagram checkpoints.
+
+Two granularities, matching how analyses persist state:
+
+- :func:`save_tsv` / :func:`load_tsv` -- portable, human-readable tuple
+  dumps (works across universes and backends; objects are strings);
+- :func:`save_checkpoint` / :func:`load_checkpoint` -- the raw decision
+  diagram plus its schema, restored into the *same* universe layout
+  (the BuDDy ``bdd_save`` workflow for expensive intermediate results).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, TextIO
+
+from repro.bdd.io import dumps_diagram, loads_diagram
+from repro.relations.domain import JeddError, Universe
+from repro.relations.relation import Relation
+
+__all__ = ["save_tsv", "load_tsv", "save_checkpoint", "load_checkpoint"]
+
+
+def save_tsv(relation: Relation, fp: TextIO) -> int:
+    """Write ``relation`` as a header line plus one tuple per line."""
+    names = relation.schema.names()
+    fp.write("\t".join(names) + "\n")
+    count = 0
+    for row in relation.tuples():
+        fp.write("\t".join(str(value) for value in row) + "\n")
+        count += 1
+    return count
+
+
+def load_tsv(
+    universe: Universe,
+    fp: TextIO,
+    physdoms: Optional[Sequence[str]] = None,
+) -> Relation:
+    """Read a TSV written by :func:`save_tsv` into ``universe``.
+
+    The header names the attributes; objects load as strings.
+    """
+    lines = [line.rstrip("\n") for line in fp if line.strip()]
+    if not lines:
+        raise JeddError("empty TSV relation file")
+    attrs = lines[0].split("\t")
+    rows: List[tuple] = []
+    for line in lines[1:]:
+        row = tuple(line.split("\t"))
+        if len(row) != len(attrs):
+            raise JeddError(f"TSV row arity mismatch: {line!r}")
+        rows.append(row)
+    return Relation.from_tuples(universe, attrs, rows, physdoms)
+
+
+def save_checkpoint(relation: Relation, fp: TextIO) -> None:
+    """Persist the schema and the raw diagram of ``relation``."""
+    header = " ".join(
+        f"{attr.name}:{pd.name}" for attr, pd in relation.schema.pairs
+    )
+    fp.write(f"schema {header}\n")
+    fp.write(dumps_diagram(relation.universe.manager, relation.node))
+
+
+def load_checkpoint(universe: Universe, fp: TextIO) -> Relation:
+    """Restore a checkpoint into a universe with the same declarations.
+
+    Attribute and physical-domain names must exist in ``universe`` and
+    the physical domains must occupy the same bit levels as when saved
+    (i.e. the universe was built by the same declaration sequence).
+    """
+    text = fp.read()
+    first, _, rest = text.partition("\n")
+    if not first.startswith("schema "):
+        raise JeddError("missing checkpoint schema header")
+    pairs = []
+    for spec in first[len("schema "):].split():
+        attr_name, _, pd_name = spec.partition(":")
+        pairs.append(
+            (universe.get_attribute(attr_name), universe.get_physdom(pd_name))
+        )
+    node = loads_diagram(universe.manager, rest)
+    from repro.relations.relation import Schema
+
+    return Relation(universe, Schema(pairs), node)

@@ -1,0 +1,737 @@
+"""Database-style relations backed by decision diagrams (paper section 2).
+
+A :class:`Relation` is an immutable set of tuples; its *schema* is an
+ordered set of attributes, each stored in a physical domain of the
+universe's decision diagram.  All the operations of the Jedd language
+are provided:
+
+====================  =======================================
+Jedd syntax           method / operator
+====================  =======================================
+``x | y``             ``x | y`` (:meth:`Relation.union`)
+``x & y``             ``x & y`` (:meth:`Relation.intersect`)
+``x - y``             ``x - y`` (:meth:`Relation.difference`)
+``x == y``            ``x == y`` (constant time on one backend)
+``(a=>) x``           :meth:`Relation.project_away`
+``(a=>b) x``          :meth:`Relation.rename`
+``(a=>b c) x``        :meth:`Relation.copy`
+``x{a} >< y{b}``      :meth:`Relation.join`
+``x{a} <> y{b}``      :meth:`Relation.compose`
+``new {o=>a, ...}``   :meth:`Relation.from_tuple`
+``0B`` / ``1B``       :meth:`Relation.empty` / :meth:`Relation.full`
+====================  =======================================
+
+The runtime enforces the dynamic counterparts of the Figure 6 typing
+rules (schema compatibility, attribute existence and distinctness) and
+performs the physical-domain bookkeeping: when operand attributes are
+not already in compatible physical domains, the runtime inserts the same
+``replace`` operations the jeddc translator would generate, recording
+them with the profiler so they can be tuned away (section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.relations.backend import DiagramBackend, make_backend
+from repro.relations.domain import (
+    Attribute,
+    JeddError,
+    PhysicalDomain,
+    Universe,
+)
+
+__all__ = ["Relation", "Schema"]
+
+
+class Schema:
+    """An ordered mapping of attributes to physical domains."""
+
+    __slots__ = ("pairs", "_by_name")
+
+    def __init__(
+        self, pairs: Sequence[Tuple[Attribute, PhysicalDomain]]
+    ) -> None:
+        self.pairs: Tuple[Tuple[Attribute, PhysicalDomain], ...] = tuple(pairs)
+        self._by_name: Dict[str, Tuple[Attribute, PhysicalDomain]] = {}
+        used_pds = set()
+        for attr, pd in self.pairs:
+            if attr.name in self._by_name:
+                raise JeddError(
+                    f"attribute {attr.name!r} appears twice in schema"
+                )
+            if pd.name in used_pds:
+                raise JeddError(
+                    f"physical domain {pd.name} holds two attributes of "
+                    "one relation (conflict constraint violated)"
+                )
+            if pd.bits < attr.domain.bits:
+                raise JeddError(
+                    f"physical domain {pd.name} ({pd.bits} bits) too small "
+                    f"for domain {attr.domain.name} ({attr.domain.bits} bits)"
+                )
+            used_pds.add(pd.name)
+            self._by_name[attr.name] = (attr, pd)
+
+    def names(self) -> Tuple[str, ...]:
+        """Attribute names in schema order."""
+        return tuple(attr.name for attr, _ in self.pairs)
+
+    def name_set(self) -> frozenset:
+        """Attribute names as a set (schemas compare as sets)."""
+        return frozenset(self._by_name)
+
+    def attribute(self, name: str) -> Attribute:
+        """The attribute object for ``name``."""
+        return self._entry(name)[0]
+
+    def physdom(self, name: str) -> PhysicalDomain:
+        """The physical domain storing attribute ``name``."""
+        return self._entry(name)[1]
+
+    def _entry(self, name: str) -> Tuple[Attribute, PhysicalDomain]:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise JeddError(f"no attribute {name!r} in schema") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def levels(self) -> List[int]:
+        """All diagram levels used by this schema."""
+        out: List[int] = []
+        for _, pd in self.pairs:
+            out.extend(pd.levels)
+        return out
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{attr.name}:{pd.name}" for attr, pd in self.pairs
+        )
+        return f"<{inner}>"
+
+
+class Relation:
+    """An immutable relation value.
+
+    Construct relations with the classmethods (:meth:`empty`,
+    :meth:`full`, :meth:`from_tuple`, :meth:`from_tuples`) and combine
+    them with the operators.  A relation holds a reference-counted
+    diagram node; the count is released when the Python object dies, and
+    eagerly by :class:`repro.relations.containers.RelationContainer`.
+    """
+
+    __slots__ = ("universe", "backend", "schema", "node", "_released")
+
+    #: Optional profiler hook, set by ``repro.profiler``; receives
+    #: (operation name, relation, elapsed seconds) for each operation.
+    profiler = None
+
+    def __init__(
+        self,
+        universe: Universe,
+        schema: Schema,
+        node: int,
+        backend: Optional[DiagramBackend] = None,
+    ) -> None:
+        self.universe = universe
+        self.backend = backend or make_backend(universe.manager)
+        self.schema = schema
+        self.node = self.backend.ref(node)
+        self._released = False
+
+    def __del__(self) -> None:
+        self.release()
+
+    def release(self) -> None:
+        """Drop this relation's node reference (idempotent)."""
+        if not self._released:
+            self._released = True
+            try:
+                self.backend.deref(self.node)
+            except Exception:
+                pass  # interpreter shutdown may have torn down the manager
+
+    def _wrap(self, schema: Schema, node: int) -> "Relation":
+        rel = Relation(self.universe, schema, node, self.backend)
+        self.backend.maybe_gc()
+        return rel
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def _make_schema(
+        cls,
+        universe: Universe,
+        attributes: Sequence[Attribute | str],
+        physdoms: Optional[Sequence[PhysicalDomain | str]] = None,
+    ) -> Schema:
+        attrs = [
+            universe.get_attribute(a) if isinstance(a, str) else a
+            for a in attributes
+        ]
+        if physdoms is None:
+            pds = [
+                universe.scratch_physdom(attr.domain.bits) for attr in attrs
+            ]
+        else:
+            if len(physdoms) != len(attrs):
+                raise JeddError("one physical domain per attribute required")
+            pds = [
+                universe.get_physdom(p) if isinstance(p, str) else p
+                for p in physdoms
+            ]
+        return Schema(list(zip(attrs, pds)))
+
+    @classmethod
+    def empty(
+        cls,
+        universe: Universe,
+        attributes: Sequence[Attribute | str],
+        physdoms: Optional[Sequence[PhysicalDomain | str]] = None,
+    ) -> "Relation":
+        """The constant ``0B`` at a concrete schema."""
+        schema = cls._make_schema(universe, attributes, physdoms)
+        backend = make_backend(universe.manager)
+        return cls(universe, schema, backend.empty(), backend)
+
+    @classmethod
+    def full(
+        cls,
+        universe: Universe,
+        attributes: Sequence[Attribute | str],
+        physdoms: Optional[Sequence[PhysicalDomain | str]] = None,
+    ) -> "Relation":
+        """The constant ``1B`` (all possible tuples) at a concrete schema."""
+        schema = cls._make_schema(universe, attributes, physdoms)
+        backend = make_backend(universe.manager)
+        return cls(universe, schema, backend.full(schema.levels()), backend)
+
+    @classmethod
+    def from_tuple(
+        cls,
+        universe: Universe,
+        values: Dict[Attribute | str, Hashable],
+        physdoms: Optional[Dict[str, PhysicalDomain | str]] = None,
+    ) -> "Relation":
+        """Jedd's ``new { obj => attribute, ... }`` single-tuple literal."""
+        attrs = [
+            universe.get_attribute(a) if isinstance(a, str) else a
+            for a in values
+        ]
+        pd_list: Optional[List[PhysicalDomain | str]] = None
+        if physdoms is not None:
+            pd_list = []
+            for attr in attrs:
+                pd = physdoms.get(attr.name)
+                if pd is None:
+                    raise JeddError(
+                        f"no physical domain given for {attr.name!r}"
+                    )
+                pd_list.append(pd)
+        schema = cls._make_schema(universe, attrs, pd_list)
+        backend = make_backend(universe.manager)
+        assignment: Dict[int, bool] = {}
+        for (attr, pd), obj in zip(schema.pairs, values.values()):
+            assignment.update(
+                universe.encode_bits(pd, attr.domain.intern(obj))
+            )
+        return cls(universe, schema, backend.cube(assignment), backend)
+
+    @classmethod
+    def from_tuples(
+        cls,
+        universe: Universe,
+        attributes: Sequence[Attribute | str],
+        rows: Iterable[Sequence[Hashable]],
+        physdoms: Optional[Sequence[PhysicalDomain | str]] = None,
+    ) -> "Relation":
+        """Bulk constructor: union of one-tuple literals, but in one pass."""
+        schema = cls._make_schema(universe, attributes, physdoms)
+        backend = make_backend(universe.manager)
+        node = backend.empty()
+        for row in rows:
+            if len(row) != len(schema):
+                raise JeddError(
+                    f"row {row!r} does not match schema {schema!r}"
+                )
+            assignment: Dict[int, bool] = {}
+            for (attr, pd), obj in zip(schema.pairs, row):
+                assignment.update(
+                    universe.encode_bits(pd, attr.domain.intern(obj))
+                )
+            node = backend.union(node, backend.cube(assignment))
+        return cls(universe, schema, node, backend)
+
+    # ------------------------------------------------------------------
+    # Physical domain movement
+    # ------------------------------------------------------------------
+
+    def replace(
+        self, physdoms: Dict[str, PhysicalDomain | str]
+    ) -> "Relation":
+        """Move attributes to the given physical domains (Jedd ``replace``).
+
+        This is the explicit form; the other operations call it
+        implicitly when operands need aligning, exactly where the
+        translator would insert replace operations.
+        """
+        moves = []
+        new_pairs = []
+        for attr, pd in self.schema.pairs:
+            target = physdoms.get(attr.name)
+            if target is None:
+                new_pairs.append((attr, pd))
+                continue
+            if isinstance(target, str):
+                target = self.universe.get_physdom(target)
+            new_pairs.append((attr, target))
+            if target is not pd:
+                moves.append((pd, target))
+        if not moves:
+            return self
+        perm = self.universe.move_permutation(moves)
+        node = self.backend.replace(self.node, perm)
+        if Relation.profiler is not None:
+            Relation.profiler.record_replace(self, perm)
+        return self._wrap(Schema(new_pairs), node)
+
+    def _align_to(self, other: "Relation") -> "Relation":
+        """Return ``other`` moved into this relation's physical domains."""
+        targets = {
+            attr.name: pd
+            for attr, pd in self.schema.pairs
+            if attr.name in other.schema
+        }
+        return other.replace(targets)
+
+    def _free_physdom(
+        self, width: int, banned: Iterable[PhysicalDomain]
+    ) -> PhysicalDomain:
+        """A physical domain of ``width`` bits not in ``banned``."""
+        banned_names = {pd.name for pd in banned}
+        for pd in self.universe.physical_domains():
+            if pd.bits == width and pd.name not in banned_names:
+                return pd
+        return self.universe.scratch_physdom(width)
+
+    # ------------------------------------------------------------------
+    # Set operations ([SetOp], [Assign], [Compare] of Figure 6)
+    # ------------------------------------------------------------------
+
+    def _check_same_schema(self, other: "Relation", op: str) -> None:
+        if not isinstance(other, Relation):
+            raise TypeError(f"{op}: not a relation: {other!r}")
+        if self.schema.name_set() != other.schema.name_set():
+            raise JeddError(
+                f"{op}: schemas differ: {self.schema!r} vs {other.schema!r}"
+            )
+
+    def union(self, other: "Relation") -> "Relation":
+        """All tuples in either relation (Jedd ``|``)."""
+        self._check_same_schema(other, "union")
+        aligned = self._align_to(other)
+        return self._wrap(
+            self.schema, self.backend.union(self.node, aligned.node)
+        )
+
+    def intersect(self, other: "Relation") -> "Relation":
+        """Tuples in both relations (Jedd ``&``)."""
+        self._check_same_schema(other, "intersect")
+        aligned = self._align_to(other)
+        return self._wrap(
+            self.schema, self.backend.intersect(self.node, aligned.node)
+        )
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Tuples in this relation but not the other (Jedd ``-``)."""
+        self._check_same_schema(other, "difference")
+        aligned = self._align_to(other)
+        return self._wrap(
+            self.schema, self.backend.diff(self.node, aligned.node)
+        )
+
+    # Operators delegate through the attribute lookup (rather than
+    # aliasing the functions) so profiler instrumentation sees them.
+    def __or__(self, other: "Relation") -> "Relation":
+        return self.union(other)
+
+    def __and__(self, other: "Relation") -> "Relation":
+        return self.intersect(other)
+
+    def __sub__(self, other: "Relation") -> "Relation":
+        return self.difference(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if self.schema.name_set() != other.schema.name_set():
+            return False
+        aligned = self._align_to(other)
+        return self.node == aligned.node
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash(self.schema.name_set())
+
+    def is_empty(self) -> bool:
+        """Constant-time emptiness test (``x == 0B``)."""
+        return self.node == self.backend.empty()
+
+    def __bool__(self) -> bool:
+        return not self.is_empty()
+
+    # ------------------------------------------------------------------
+    # Attribute operations ([Project], [Rename], [Copy])
+    # ------------------------------------------------------------------
+
+    def project_away(self, *names: str) -> "Relation":
+        """Remove attributes (Jedd ``(a=>) x``); may merge tuples."""
+        levels: List[int] = []
+        remaining = []
+        to_drop = set(names)
+        for attr, pd in self.schema.pairs:
+            if attr.name in to_drop:
+                levels.extend(pd.levels)
+                to_drop.discard(attr.name)
+            else:
+                remaining.append((attr, pd))
+        if to_drop:
+            raise JeddError(f"project: no attribute(s) {sorted(to_drop)}")
+        node = self.backend.project(self.node, levels)
+        return self._wrap(Schema(remaining), node)
+
+    def project_onto(self, *names: str) -> "Relation":
+        """Keep only the named attributes."""
+        keep = set(names)
+        missing = keep - set(self.schema.names())
+        if missing:
+            raise JeddError(f"project: no attribute(s) {sorted(missing)}")
+        drop = [n for n in self.schema.names() if n not in keep]
+        return self.project_away(*drop) if drop else self
+
+    def rename(self, mapping: Dict[str, Attribute | str]) -> "Relation":
+        """Substitute attributes (Jedd ``(a=>b) x``); no BDD change."""
+        new_pairs = []
+        pending = dict(mapping)
+        for attr, pd in self.schema.pairs:
+            target = pending.pop(attr.name, None)
+            if target is None:
+                new_pairs.append((attr, pd))
+                continue
+            new_attr = (
+                self.universe.get_attribute(target)
+                if isinstance(target, str)
+                else target
+            )
+            if new_attr.domain is not attr.domain:
+                raise JeddError(
+                    f"rename {attr.name}=>{new_attr.name}: domains differ "
+                    f"({attr.domain.name} vs {new_attr.domain.name})"
+                )
+            new_pairs.append((new_attr, pd))
+        if pending:
+            raise JeddError(
+                f"rename: no attribute(s) {sorted(pending)} in schema"
+            )
+        return self._wrap(Schema(new_pairs), self.node)
+
+    def copy(
+        self,
+        source: str,
+        names: Sequence[Attribute | str],
+        physdoms: Optional[Sequence[PhysicalDomain | str]] = None,
+    ) -> "Relation":
+        """Attribute copying (Jedd ``(a=>b c) x``).
+
+        The source attribute is replaced by the given attributes, each
+        holding the same object in every tuple.  The first copy stays in
+        the source's physical domain; further copies go to the physical
+        domains given (or to free ones).
+        """
+        if len(names) < 2:
+            raise JeddError("copy needs at least two target attributes")
+        src_attr = self.schema.attribute(source)
+        src_pd = self.schema.physdom(source)
+        targets = [
+            self.universe.get_attribute(n) if isinstance(n, str) else n
+            for n in names
+        ]
+        for t in targets:
+            if t.domain is not src_attr.domain:
+                raise JeddError(
+                    f"copy target {t.name} has domain {t.domain.name}, "
+                    f"expected {src_attr.domain.name}"
+                )
+            if t.name != source and t.name in self.schema:
+                raise JeddError(f"copy target {t.name} already in schema")
+        if len({t.name for t in targets}) != len(targets):
+            raise JeddError("copy targets must be distinct")
+        # Physical domains for the extra copies.
+        if physdoms is not None:
+            if len(physdoms) != len(targets) - 1:
+                raise JeddError(
+                    "copy: one physical domain per extra copy required"
+                )
+            extra_pds = [
+                self.universe.get_physdom(p) if isinstance(p, str) else p
+                for p in physdoms
+            ]
+        else:
+            extra_pds = []
+            used = [pd for _, pd in self.schema.pairs]
+            for _ in targets[1:]:
+                pd = self._free_physdom(src_pd.bits, used)
+                extra_pds.append(pd)
+                used.append(pd)
+        # Conceptually a join with the identity relation {(v, v)} matching
+        # on the source attribute; match() handles backend differences
+        # (the ZDD encoding needs explicit don't-care expansion).
+        node = self.node
+        values = src_attr.domain.values()
+        used_levels = self.schema.levels()
+        for pd in extra_pds:
+            eq = self.backend.equality(src_pd.levels, pd.levels, values)
+            a_only = [l for l in used_levels if l not in src_pd.levels]
+            node = self.backend.match(
+                node, eq, src_pd.levels, a_only, pd.levels, False
+            )
+            used_levels = used_levels + pd.levels
+        new_pairs = []
+        for attr, pd in self.schema.pairs:
+            if attr.name == source:
+                new_pairs.append((targets[0], src_pd))
+                for t, tpd in zip(targets[1:], extra_pds):
+                    new_pairs.append((t, tpd))
+            else:
+                new_pairs.append((attr, pd))
+        return self._wrap(Schema(new_pairs), node)
+
+    # ------------------------------------------------------------------
+    # Join and composition ([Join], [Compose])
+    # ------------------------------------------------------------------
+
+    def _match_setup(
+        self,
+        other: "Relation",
+        self_attrs: Sequence[str],
+        other_attrs: Sequence[str],
+        op: str,
+    ) -> Tuple["Relation", List[int], List[int], List[int]]:
+        if len(self_attrs) != len(other_attrs):
+            raise JeddError(f"{op}: attribute lists differ in length")
+        if len(set(self_attrs)) != len(self_attrs) or len(
+            set(other_attrs)
+        ) != len(other_attrs):
+            raise JeddError(f"{op}: repeated attribute in comparison list")
+        for name in self_attrs:
+            if name not in self.schema:
+                raise JeddError(f"{op}: {name!r} not in left schema")
+        for name in other_attrs:
+            if name not in other.schema:
+                raise JeddError(f"{op}: {name!r} not in right schema")
+        for a, b in zip(self_attrs, other_attrs):
+            da = self.schema.attribute(a).domain
+            db = other.schema.attribute(b).domain
+            if da is not db:
+                raise JeddError(
+                    f"{op}: cannot compare {a} ({da.name}) with "
+                    f"{b} ({db.name})"
+                )
+        # Move the compared attributes of `other` into our physical
+        # domains, and its private attributes out of any domain we use.
+        targets: Dict[str, PhysicalDomain] = {}
+        for a, b in zip(self_attrs, other_attrs):
+            targets[b] = self.schema.physdom(a)
+        self_pds = {pd.name for _, pd in self.schema.pairs}
+        used = [pd for _, pd in self.schema.pairs]
+        used.extend(pd for _, pd in other.schema.pairs)
+        used.extend(targets.values())
+        for attr, pd in other.schema.pairs:
+            if attr.name in targets:
+                continue
+            if pd.name in self_pds:
+                fresh = self._free_physdom(pd.bits, used)
+                targets[attr.name] = fresh
+                used.append(fresh)
+        aligned = other.replace(targets)
+        cmp_levels: List[int] = []
+        for a in self_attrs:
+            cmp_levels.extend(self.schema.physdom(a).levels)
+        cmp_set = set(cmp_levels)
+        a_only = [l for l in self.schema.levels() if l not in cmp_set]
+        b_only = [l for l in aligned.schema.levels() if l not in cmp_set]
+        return aligned, cmp_levels, a_only, b_only
+
+    def join(
+        self,
+        other: "Relation",
+        self_attrs: Sequence[str],
+        other_attrs: Sequence[str],
+    ) -> "Relation":
+        """Jedd ``x{a1,...} >< y{b1,...}``.
+
+        Pairs of tuples matching on the compared attributes are merged;
+        the compared attributes are kept (under the left relation's
+        names).  The attribute sets of the result operands must be
+        disjoint ([Join] in Figure 6).
+        """
+        overlap = self.schema.name_set() & (
+            other.schema.name_set() - frozenset(other_attrs)
+        )
+        if overlap:
+            raise JeddError(
+                f"join: attributes {sorted(overlap)} appear on both sides"
+            )
+        aligned, cmp_levels, a_only, b_only = self._match_setup(
+            other, self_attrs, other_attrs, "join"
+        )
+        node = self.backend.match(
+            self.node, aligned.node, cmp_levels, a_only, b_only, False
+        )
+        new_pairs = list(self.schema.pairs)
+        compared = set(other_attrs)
+        for attr, pd in aligned.schema.pairs:
+            if attr.name not in compared:
+                new_pairs.append((attr, pd))
+        return self._wrap(Schema(new_pairs), node)
+
+    def compose(
+        self,
+        other: "Relation",
+        self_attrs: Sequence[str],
+        other_attrs: Sequence[str],
+    ) -> "Relation":
+        """Jedd ``x{a1,...} <> y{b1,...}``.
+
+        Like :meth:`join` but the compared attributes are projected away
+        -- implemented with the fused conjunction+quantification
+        operation rather than a join followed by a projection.
+        """
+        self_rest = self.schema.name_set() - frozenset(self_attrs)
+        other_rest = other.schema.name_set() - frozenset(other_attrs)
+        overlap = self_rest & other_rest
+        if overlap:
+            raise JeddError(
+                f"compose: attributes {sorted(overlap)} appear on both sides"
+            )
+        aligned, cmp_levels, a_only, b_only = self._match_setup(
+            other, self_attrs, other_attrs, "compose"
+        )
+        node = self.backend.match(
+            self.node, aligned.node, cmp_levels, a_only, b_only, True
+        )
+        new_pairs = [
+            (attr, pd)
+            for attr, pd in self.schema.pairs
+            if attr.name not in set(self_attrs)
+        ]
+        compared = set(other_attrs)
+        for attr, pd in aligned.schema.pairs:
+            if attr.name not in compared:
+                new_pairs.append((attr, pd))
+        return self._wrap(Schema(new_pairs), node)
+
+    def select(self, values: Dict[str, Hashable]) -> "Relation":
+        """Selection: tuples with the given objects in certain attributes.
+
+        Jedd has no dedicated selection operation; section 2.2.4
+        explains it is "most easily implemented by constructing a
+        relation containing the desired objects, and joining it with the
+        relation of interest" -- which is exactly what this convenience
+        method does.
+        """
+        if not values:
+            return self
+        attrs = list(values)
+        for name in attrs:
+            if name not in self.schema:
+                raise JeddError(f"select: no attribute {name!r} in schema")
+        pds = {name: self.schema.physdom(name) for name in attrs}
+        selector = Relation.from_tuple(self.universe, values, pds)
+        return self.join(selector, attrs, attrs)
+
+    # ------------------------------------------------------------------
+    # Extraction (section 2.3)
+    # ------------------------------------------------------------------
+
+    def size(self) -> int:
+        """Number of tuples in the relation."""
+        return self.backend.count(self.node, self.schema.levels())
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def tuples(self) -> Iterator[Tuple[Hashable, ...]]:
+        """Iterate tuples as object tuples in schema order."""
+        levels = self.schema.levels()
+        for assignment in self.backend.all_sat(self.node, levels):
+            row = []
+            for attr, pd in self.schema.pairs:
+                idx = self.universe.decode_bits(pd, assignment)
+                row.append(attr.domain.object_of(idx))
+            yield tuple(row)
+
+    def __iter__(self) -> Iterator:
+        """Single-attribute iterator (objects) or tuple iterator.
+
+        Mirrors the two ``java.util.Iterator`` flavours of section 2.3.
+        """
+        if len(self.schema) == 1:
+            return (row[0] for row in self.tuples())
+        return self.tuples()
+
+    def __str__(self) -> str:
+        """Tabular rendering, the Jedd ``toString()`` debugging aid."""
+        names = self.schema.names()
+        rows = [tuple(str(v) for v in row) for row in self.tuples()]
+        rows.sort()
+        widths = [
+            max(len(n), *(len(r[i]) for r in rows)) if rows else len(n)
+            for i, n in enumerate(names)
+        ]
+        header = "  ".join(n.ljust(w) for n, w in zip(names, widths))
+        lines = [header, "-" * len(header)]
+        for row in rows:
+            lines.append(
+                "  ".join(v.ljust(w) for v, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation({self.schema!r}, {self.size()} tuples, "
+            f"{self.backend.node_count(self.node)} nodes)"
+        )
+
+    # ------------------------------------------------------------------
+    # Profiling helpers
+    # ------------------------------------------------------------------
+
+    def node_count(self) -> int:
+        """Number of diagram nodes representing this relation."""
+        return self.backend.node_count(self.node)
+
+    def shape(self) -> List[int]:
+        """Per-level node counts (the profiler's BDD shape, section 4.3)."""
+        return self.backend.shape(self.node)

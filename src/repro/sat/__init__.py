@@ -1,0 +1,12 @@
+"""CDCL SAT solver with unsat-core extraction (the zchaff stand-in).
+
+The Jedd translator's physical domain assignment (paper section 3.3)
+encodes its constraints as CNF and needs (a) a complete solver and (b)
+unsatisfiable cores for error reporting.  Both are provided here.
+"""
+
+from repro.sat.brute import brute_force_solve
+from repro.sat.cnf import CNF, CNFError
+from repro.sat.solver import SATResult, Solver, solve
+
+__all__ = ["CNF", "CNFError", "SATResult", "Solver", "solve", "brute_force_solve"]

@@ -1,0 +1,21 @@
+"""Brute-force SAT reference used to validate the CDCL solver in tests."""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Optional
+
+from repro.sat.cnf import CNF
+
+__all__ = ["brute_force_solve"]
+
+
+def brute_force_solve(cnf: CNF) -> Optional[Dict[int, bool]]:
+    """Return some model of ``cnf`` or None; exponential, tests only."""
+    n = cnf.num_vars
+    if n > 22:
+        raise ValueError("brute force limited to 22 variables")
+    for bits in product((False, True), repeat=n):
+        if cnf.evaluate(bits):
+            return {v: bits[v - 1] for v in range(1, n + 1)}
+    return None

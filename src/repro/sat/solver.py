@@ -1,0 +1,448 @@
+"""A CDCL SAT solver with unsat-core extraction.
+
+The paper delegates the (NP-complete) physical domain assignment problem
+to the zchaff solver and uses zchaff's *unsatisfiable core extraction*
+[30] to produce meaningful error messages (section 3.3.3).  This module
+is the reproduction's solver: conflict-driven clause learning with
+two-watched-literal propagation, first-UIP learning, VSIDS-style
+activities, phase saving, and Luby restarts.
+
+Core extraction works by tracking, for every learned clause, the set of
+*original* clause indices used in its derivation (the leaves of the
+resolution proof).  When a conflict is derived at decision level 0, the
+union of the conflict's origins with the origin closures of its
+falsifying level-0 assignments is an unsatisfiable subset of the input
+-- the core reported to the caller.  Like zchaff's, the core is small in
+practice but not guaranteed minimal.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.sat.cnf import CNF
+
+__all__ = ["SATResult", "Solver", "solve"]
+
+
+@dataclass
+class SATResult:
+    """Outcome of a SAT query.
+
+    Attributes
+    ----------
+    satisfiable:
+        Whether a model was found.
+    model:
+        On SAT, ``model[var]`` for every variable ``1..num_vars``.
+    core:
+        On UNSAT, indices (into the input CNF's clause list) of an
+        unsatisfiable subset of the clauses.
+    conflicts, decisions, propagations:
+        Search statistics, reported in the Table 1 benchmark.
+    """
+
+    satisfiable: bool
+    model: Optional[Dict[int, bool]] = None
+    core: Optional[List[int]] = None
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+
+
+def _luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence.
+
+    1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
+    """
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class Solver:
+    """One-shot CDCL solver over a :class:`~repro.sat.cnf.CNF` formula."""
+
+    def __init__(self, cnf: CNF) -> None:
+        self.cnf = cnf
+        self.nv = cnf.num_vars
+        # Clause database: original (non-tautological) clauses first,
+        # learned clauses appended.  ``origins[cid]`` is the set of
+        # original clause indices at the leaves of cid's derivation.
+        self.clauses: List[List[int]] = []
+        self.origins: List[FrozenSet[int]] = []
+        self.watches: Dict[int, List[int]] = {}
+        # Assignment state.
+        self.value: List[Optional[bool]] = [None] * (self.nv + 1)
+        self.reason: List[Optional[int]] = [None] * (self.nv + 1)
+        self.level: List[int] = [0] * (self.nv + 1)
+        self.zero_origins: List[FrozenSet[int]] = [frozenset()] * (self.nv + 1)
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.prop_head = 0
+        # VSIDS.
+        self.activity: List[float] = [0.0] * (self.nv + 1)
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.order: List[Tuple[float, int]] = []
+        self.saved_phase: List[bool] = [False] * (self.nv + 1)
+        # Learned-clause database management.
+        self.learned_cids: List[int] = []
+        self.clause_activity: Dict[int, float] = {}
+        self.cla_inc = 1.0
+        self.cla_decay = 0.999
+        self.max_learned = 4000
+        # Stats.
+        self.n_conflicts = 0
+        self.n_decisions = 0
+        self.n_propagations = 0
+        self.n_reductions = 0
+        # Input bookkeeping.
+        self._empty_clause_idx: Optional[int] = None
+        self._unit_inputs: List[Tuple[int, int]] = []  # (literal, orig idx)
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def _load(self) -> None:
+        for idx, clause in enumerate(self.cnf.clauses):
+            lits = list(clause)
+            if not lits:
+                self._empty_clause_idx = idx
+                continue
+            if any(-lit in clause for lit in clause):
+                continue  # tautology: always satisfied, never in a core
+            if len(lits) == 1:
+                self._unit_inputs.append((lits[0], idx))
+                continue
+            cid = len(self.clauses)
+            self.clauses.append(lits)
+            self.origins.append(frozenset((idx,)))
+            for lit in lits[:2]:
+                self.watches.setdefault(-lit, []).append(cid)
+        for v in range(1, self.nv + 1):
+            heapq.heappush(self.order, (0.0, v))
+
+    # ------------------------------------------------------------------
+    # Assignment primitives
+    # ------------------------------------------------------------------
+
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _assign(
+        self, lit: int, reason_cid: Optional[int], unit_origin: Optional[int]
+    ) -> None:
+        var = abs(lit)
+        self.value[var] = lit > 0
+        self.reason[var] = reason_cid
+        self.level[var] = self._decision_level()
+        self.saved_phase[var] = lit > 0
+        if self.level[var] == 0:
+            acc: Set[int] = set()
+            if unit_origin is not None:
+                acc.add(unit_origin)
+            if reason_cid is not None:
+                acc |= self.origins[reason_cid]
+                for other in self.clauses[reason_cid]:
+                    if other != lit:
+                        acc |= self.zero_origins[abs(other)]
+            self.zero_origins[var] = frozenset(acc)
+        self.trail.append(lit)
+
+    def _lit_value(self, lit: int) -> Optional[bool]:
+        v = self.value[abs(lit)]
+        if v is None:
+            return None
+        return v if lit > 0 else not v
+
+    def _backtrack(self, target_level: int) -> None:
+        while self.trail_lim and len(self.trail_lim) > target_level:
+            boundary = self.trail_lim.pop()
+            while len(self.trail) > boundary:
+                lit = self.trail.pop()
+                var = abs(lit)
+                self.value[var] = None
+                self.reason[var] = None
+                heapq.heappush(self.order, (-self.activity[var], var))
+        self.prop_head = len(self.trail)
+
+    # ------------------------------------------------------------------
+    # Propagation (two watched literals)
+    # ------------------------------------------------------------------
+
+    def _propagate(self) -> Optional[int]:
+        """Propagate pending assignments; returns a conflicting cid or None."""
+        while self.prop_head < len(self.trail):
+            lit = self.trail[self.prop_head]
+            self.prop_head += 1
+            self.n_propagations += 1
+            watching = self.watches.get(lit)
+            if not watching:
+                continue
+            survivors: List[int] = []
+            i = 0
+            conflict = None
+            while i < len(watching):
+                cid = watching[i]
+                i += 1
+                clause = self.clauses[cid]
+                if clause is None:  # deleted by a database reduction
+                    continue
+                # Ensure the falsified literal is in position 1.
+                if clause[0] == -lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) is True:
+                    survivors.append(cid)
+                    continue
+                # Find a new literal to watch.
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._lit_value(clause[k]) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches.setdefault(-clause[1], []).append(cid)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                survivors.append(cid)
+                if self._lit_value(first) is False:
+                    # Conflict: keep remaining watchers, stop.
+                    survivors.extend(watching[i:])
+                    conflict = cid
+                    break
+                self._assign(first, cid, None)
+            self.watches[lit] = survivors
+            if conflict is not None:
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.nv + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _analyze(self, conflict_cid: int) -> Tuple[List[int], int, FrozenSet[int]]:
+        """Derive a 1UIP clause; returns (learnt, backjump_level, origins)."""
+        learnt: List[int] = []
+        seen = [False] * (self.nv + 1)
+        origins_acc: Set[int] = set(self.origins[conflict_cid])
+        self._bump_clause(conflict_cid)
+        counter = 0
+        lits = list(self.clauses[conflict_cid])
+        trail_idx = len(self.trail) - 1
+        p: Optional[int] = None
+        current = self._decision_level()
+        while True:
+            for q in lits:
+                if p is not None and q == p:
+                    continue
+                var = abs(q)
+                if self.level[var] == 0:
+                    origins_acc |= self.zero_origins[var]
+                    continue
+                if not seen[var]:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.level[var] == current:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # Walk the trail back to the next marked literal.
+            while not seen[abs(self.trail[trail_idx])]:
+                trail_idx -= 1
+            p_lit = self.trail[trail_idx]
+            p_var = abs(p_lit)
+            trail_idx -= 1
+            seen[p_var] = False
+            counter -= 1
+            if counter == 0:
+                learnt.append(-p_lit)
+                break
+            reason_cid = self.reason[p_var]
+            assert reason_cid is not None, "UIP literal must be implied"
+            self._bump_clause(reason_cid)
+            origins_acc |= self.origins[reason_cid]
+            lits = list(self.clauses[reason_cid])
+            p = p_lit
+        # Asserting literal last; compute backjump level.
+        if len(learnt) == 1:
+            backjump = 0
+        else:
+            levels = sorted(
+                (self.level[abs(l)] for l in learnt[:-1]), reverse=True
+            )
+            backjump = levels[0]
+        return learnt, backjump, frozenset(origins_acc)
+
+    def _conflict_core_at_zero(self, conflict_cid: int) -> List[int]:
+        acc: Set[int] = set(self.origins[conflict_cid])
+        for lit in self.clauses[conflict_cid]:
+            acc |= self.zero_origins[abs(lit)]
+        return sorted(acc)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def solve(self) -> SATResult:
+        """Run the CDCL search to completion."""
+        if self._empty_clause_idx is not None:
+            return SATResult(False, core=[self._empty_clause_idx])
+        # Level-0 unit clauses.
+        for lit, idx in self._unit_inputs:
+            val = self._lit_value(lit)
+            if val is True:
+                continue
+            if val is False:
+                var = abs(lit)
+                core = sorted({idx} | self.zero_origins[var])
+                return SATResult(False, core=core)
+            self._assign(lit, None, idx)
+        conflict = self._propagate()
+        if conflict is not None:
+            return SATResult(
+                False,
+                core=self._conflict_core_at_zero(conflict),
+                conflicts=self.n_conflicts,
+                decisions=self.n_decisions,
+                propagations=self.n_propagations,
+            )
+        restart_count = 0
+        conflicts_until_restart = 64 * _luby(1)
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.n_conflicts += 1
+                if self._decision_level() == 0:
+                    return SATResult(
+                        False,
+                        core=self._conflict_core_at_zero(conflict),
+                        conflicts=self.n_conflicts,
+                        decisions=self.n_decisions,
+                        propagations=self.n_propagations,
+                    )
+                learnt, backjump, origins = self._analyze(conflict)
+                self._backtrack(backjump)
+                self._learn(learnt, origins)
+                self.var_inc /= self.var_decay
+                self.cla_inc /= self.cla_decay
+                conflicts_until_restart -= 1
+                continue
+            if conflicts_until_restart <= 0 and self._decision_level() > 0:
+                restart_count += 1
+                conflicts_until_restart = 64 * _luby(restart_count + 1)
+                self._backtrack(0)
+                continue
+            var = self._pick_branch_var()
+            if var is None:
+                model = {
+                    v: bool(self.value[v]) for v in range(1, self.nv + 1)
+                }
+                return SATResult(
+                    True,
+                    model=model,
+                    conflicts=self.n_conflicts,
+                    decisions=self.n_decisions,
+                    propagations=self.n_propagations,
+                )
+            self.n_decisions += 1
+            self.trail_lim.append(len(self.trail))
+            lit = var if self.saved_phase[var] else -var
+            self._assign(lit, None, None)
+
+    def _learn(self, learnt: List[int], origins: FrozenSet[int]) -> None:
+        asserting = learnt[-1]
+        if len(learnt) == 1:
+            # Unit learned clause: assign at level 0; its origin set is the
+            # derivation's origin set.
+            var = abs(asserting)
+            self.zero_origins[var] = origins
+            self.value[var] = asserting > 0
+            self.reason[var] = None
+            self.level[var] = 0
+            self.trail.append(asserting)
+            return
+        cid = len(self.clauses)
+        # Put the asserting literal and the highest-level other literal in
+        # the watch positions.
+        lits = [asserting] + [l for l in learnt[:-1]]
+        lits[1:] = sorted(
+            lits[1:], key=lambda l: -self.level[abs(l)]
+        )
+        self.clauses.append(lits)
+        self.origins.append(origins)
+        for lit in lits[:2]:
+            self.watches.setdefault(-lit, []).append(cid)
+        self.learned_cids.append(cid)
+        self.clause_activity[cid] = self.cla_inc
+        self._assign(asserting, cid, None)
+        if len(self.learned_cids) > self.max_learned:
+            self._reduce_db()
+
+    def _bump_clause(self, cid: int) -> None:
+        if cid in self.clause_activity:
+            self.clause_activity[cid] += self.cla_inc
+            if self.clause_activity[cid] > 1e20:
+                for key in self.clause_activity:
+                    self.clause_activity[key] *= 1e-20
+                self.cla_inc *= 1e-20
+
+    def _reduce_db(self) -> None:
+        """Delete the less active half of the learned clauses.
+
+        Clauses currently serving as reasons on the trail are locked;
+        binary clauses are cheap to keep.  Deleted slots are set to None
+        and purged lazily from watch lists during propagation.
+        """
+        locked = {
+            self.reason[abs(lit)]
+            for lit in self.trail
+            if self.reason[abs(lit)] is not None
+        }
+        candidates = [
+            cid
+            for cid in self.learned_cids
+            if self.clauses[cid] is not None
+            and len(self.clauses[cid]) > 2
+            and cid not in locked
+        ]
+        candidates.sort(key=lambda cid: self.clause_activity.get(cid, 0.0))
+        for cid in candidates[: len(candidates) // 2]:
+            self.clauses[cid] = None
+            self.clause_activity.pop(cid, None)
+        self.learned_cids = [
+            cid for cid in self.learned_cids if self.clauses[cid] is not None
+        ]
+        self.max_learned = int(self.max_learned * 1.2)
+        self.n_reductions += 1
+
+    def _pick_branch_var(self) -> Optional[int]:
+        while self.order:
+            _, var = heapq.heappop(self.order)
+            if self.value[var] is None:
+                return var
+        return None
+
+
+def solve(cnf: CNF) -> SATResult:
+    """Solve ``cnf``; convenience wrapper constructing a fresh solver."""
+    return Solver(cnf).solve()

@@ -1,0 +1,298 @@
+"""An interactive environment for experimenting with relations.
+
+Related work (section 6.2) describes small interactive languages for
+experimenting with BDDs, such as IBEN; this module provides the same
+kind of tool at Jedd's level of abstraction: a read-eval-print loop
+over *relations*, using the Figure 5 expression grammar with the
+runtime's dynamic checking (no physical domain annotations needed --
+the runtime aligns operands automatically).
+
+Example session::
+
+    jedd> domain Type 64
+    jedd> attribute subtype : Type
+    jedd> attribute supertype : Type
+    jedd> attribute tgttype : Type
+    jedd> physdom T1 6
+    jedd> physdom T2 6
+    jedd> finalize
+    jedd> rel extend subtype:T1 supertype:T2
+    jedd> insert extend B A
+    jedd> insert extend C B
+    jedd> let up2 = (supertype=>tgttype) extend{subtype} <> extend ...
+
+Run interactively with ``python -m repro.shell``, or feed commands via
+:func:`run_script` (used by the test suite and for batch files).
+"""
+
+from __future__ import annotations
+
+import cmd
+import shlex
+import sys
+from typing import Dict, List, Optional
+
+from repro.jedd import ast
+from repro.jedd.lexer import LexError
+from repro.jedd.parser import ParseError, parse_expression
+from repro.relations import JeddError, Relation, Universe
+
+__all__ = ["RelationalShell", "run_script", "main"]
+
+
+class _ShellError(Exception):
+    """User-level error; printed, does not abort the shell."""
+
+
+class RelationalShell(cmd.Cmd):
+    """The interactive read-eval-print loop over relations."""
+
+    intro = (
+        "Jedd relational shell (PLDI 2004 reproduction). "
+        "Type help or ? for commands."
+    )
+    prompt = "jedd> "
+
+    def __init__(self, stdout=None) -> None:
+        super().__init__(stdout=stdout)
+        self.backend = "bdd"
+        self.universe: Optional[Universe] = None
+        self._pending = Universe()
+        self.relations: Dict[str, Relation] = {}
+
+    # -- helpers -----------------------------------------------------------
+
+    def _say(self, text: str) -> None:
+        print(text, file=self.stdout or sys.stdout)
+
+    def _fail(self, message: str) -> None:
+        self._say(f"error: {message}")
+
+    def _need_finalized(self) -> Universe:
+        if self.universe is None:
+            raise _ShellError("run `finalize` first")
+        return self.universe
+
+    def _need_unfinalized(self) -> Universe:
+        if self.universe is not None:
+            raise _ShellError("universe already finalized")
+        return self._pending
+
+    def onecmd(self, line: str) -> bool:
+        try:
+            return super().onecmd(line)
+        except (_ShellError, JeddError, ParseError, LexError) as err:
+            self._fail(str(err))
+            return False
+
+    # -- declaration commands ------------------------------------------------
+
+    def do_backend(self, arg: str) -> None:
+        """backend bdd|zdd -- choose the diagram engine (before finalize)."""
+        name = arg.strip()
+        if name not in ("bdd", "zdd"):
+            raise _ShellError("backend must be 'bdd' or 'zdd'")
+        self._need_unfinalized()
+        self.backend = name
+        self._say(f"backend set to {name}")
+
+    def do_domain(self, arg: str) -> None:
+        """domain NAME SIZE -- declare a domain of objects."""
+        parts = arg.split()
+        if len(parts) != 2 or not parts[1].isdigit():
+            raise _ShellError("usage: domain NAME SIZE")
+        self._need_unfinalized().domain(parts[0], int(parts[1]))
+
+    def do_attribute(self, arg: str) -> None:
+        """attribute NAME : DOMAIN -- declare an attribute."""
+        parts = arg.replace(":", " ").split()
+        if len(parts) != 2:
+            raise _ShellError("usage: attribute NAME : DOMAIN")
+        u = self._need_unfinalized()
+        u.attribute(parts[0], u.get_domain(parts[1]))
+
+    def do_physdom(self, arg: str) -> None:
+        """physdom NAME BITS -- declare a physical domain."""
+        parts = arg.split()
+        if len(parts) != 2 or not parts[1].isdigit():
+            raise _ShellError("usage: physdom NAME BITS")
+        self._need_unfinalized().physical_domain(parts[0], int(parts[1]))
+
+    def do_finalize(self, arg: str) -> None:
+        """finalize -- fix the bit ordering and create the manager."""
+        u = self._need_unfinalized()
+        # Rebuild with the chosen backend (Universe fixes backend at
+        # construction; declarations are replayed).
+        fresh = Universe(backend=self.backend)
+        for dom in u._domains.values():
+            fresh.domain(dom.name, dom.max_size)
+        for attr in u._attributes.values():
+            fresh.attribute(attr.name, fresh.get_domain(attr.domain.name))
+        for pd in u.physical_domains():
+            fresh.physical_domain(pd.name, pd.bits)
+        fresh.finalize()
+        self.universe = fresh
+        self._say(
+            f"universe ready: {fresh.manager.num_vars} diagram variables"
+        )
+
+    # -- relation commands -----------------------------------------------------
+
+    def do_rel(self, arg: str) -> None:
+        """rel NAME attr[:PD] ... -- declare an empty relation."""
+        parts = arg.split()
+        if len(parts) < 2:
+            raise _ShellError("usage: rel NAME attr[:PD] ...")
+        u = self._need_finalized()
+        name = parts[0]
+        attrs: List[str] = []
+        pds: List[str] = []
+        explicit = True
+        for spec in parts[1:]:
+            if ":" in spec:
+                attr, pd = spec.split(":", 1)
+                attrs.append(attr)
+                pds.append(pd)
+            else:
+                attrs.append(spec)
+                explicit = False
+        self.relations[name] = Relation.empty(
+            u, attrs, pds if explicit else None
+        )
+
+    def do_insert(self, arg: str) -> None:
+        """insert NAME obj1 obj2 ... -- add one tuple to a relation."""
+        parts = shlex.split(arg)
+        if not parts:
+            raise _ShellError("usage: insert NAME obj ...")
+        rel = self._lookup(parts[0])
+        names = rel.schema.names()
+        if len(parts) - 1 != len(names):
+            raise _ShellError(
+                f"{parts[0]} has attributes {', '.join(names)}; "
+                f"got {len(parts) - 1} object(s)"
+            )
+        row = Relation.from_tuple(
+            rel.universe,
+            dict(zip(names, parts[1:])),
+            {n: rel.schema.physdom(n) for n in names},
+        )
+        self.relations[parts[0]] = rel | row
+
+    def do_let(self, arg: str) -> None:
+        """let NAME = EXPR -- evaluate a Jedd expression."""
+        if "=" not in arg:
+            raise _ShellError("usage: let NAME = EXPR")
+        name, _, source = arg.partition("=")
+        name = name.strip()
+        if not name.isidentifier():
+            raise _ShellError(f"bad relation name {name!r}")
+        self.relations[name] = self._eval(source.strip())
+
+    def do_print(self, arg: str) -> None:
+        """print EXPR -- show a relation's tuples."""
+        self._say(str(self._eval(arg.strip())))
+
+    def do_size(self, arg: str) -> None:
+        """size EXPR -- number of tuples."""
+        self._say(str(self._eval(arg.strip()).size()))
+
+    def do_nodes(self, arg: str) -> None:
+        """nodes EXPR -- diagram node count."""
+        self._say(str(self._eval(arg.strip()).node_count()))
+
+    def do_list(self, arg: str) -> None:
+        """list -- show all named relations."""
+        for name in sorted(self.relations):
+            rel = self.relations[name]
+            self._say(
+                f"{name:16s} {rel.schema!r}  {rel.size()} tuples, "
+                f"{rel.node_count()} nodes"
+            )
+
+    def do_quit(self, arg: str) -> bool:
+        """quit -- leave the shell."""
+        return True
+
+    do_exit = do_quit
+    do_EOF = do_quit
+
+    def emptyline(self) -> bool:
+        return False
+
+    # -- expression evaluation ----------------------------------------------------
+
+    def _lookup(self, name: str) -> Relation:
+        rel = self.relations.get(name)
+        if rel is None:
+            raise _ShellError(f"no relation {name!r}")
+        return rel
+
+    def _eval(self, source: str) -> Relation:
+        expr = parse_expression(source)
+        return self._eval_ast(expr)
+
+    def _eval_ast(self, expr: ast.Expr) -> Relation:
+        u = self._need_finalized()
+        if isinstance(expr, ast.VarRef):
+            return self._lookup(expr.name)
+        if isinstance(expr, ast.ConstRel):
+            raise _ShellError(
+                "0B/1B need a schema; use `rel` to declare one"
+            )
+        if isinstance(expr, ast.NewRel):
+            values = {}
+            for piece in expr.pieces:
+                if not piece.is_string:
+                    raise _ShellError(
+                        "shell literals must use quoted strings"
+                    )
+                values[piece.attr] = piece.value
+            return Relation.from_tuple(u, values)
+        if isinstance(expr, ast.SetOp):
+            left = self._eval_ast(expr.left)
+            right = self._eval_ast(expr.right)
+            if expr.op == "|":
+                return left | right
+            if expr.op == "&":
+                return left & right
+            return left - right
+        if isinstance(expr, ast.JoinOp):
+            left = self._eval_ast(expr.left)
+            right = self._eval_ast(expr.right)
+            if expr.op == "><":
+                return left.join(right, expr.left_attrs, expr.right_attrs)
+            return left.compose(right, expr.left_attrs, expr.right_attrs)
+        if isinstance(expr, ast.ReplaceOp):
+            value = self._eval_ast(expr.operand)
+            for rep in expr.replacements:
+                if not rep.targets:
+                    value = value.project_away(rep.source)
+                elif len(rep.targets) == 1:
+                    if rep.targets[0] != rep.source:
+                        value = value.rename({rep.source: rep.targets[0]})
+                else:
+                    value = value.copy(rep.source, rep.targets)
+            return value
+        raise _ShellError(f"cannot evaluate {type(expr).__name__}")
+
+
+def run_script(lines: List[str], stdout=None) -> RelationalShell:
+    """Execute shell commands non-interactively; returns the shell."""
+    shell = RelationalShell(stdout=stdout)
+    for line in lines:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if shell.onecmd(line):
+            break
+    return shell
+
+
+def main() -> None:  # pragma: no cover - interactive entry point
+    """Entry point for ``python -m repro.shell``."""
+    RelationalShell().cmdloop()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

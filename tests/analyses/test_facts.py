@@ -1,0 +1,113 @@
+"""Tests for the synthetic program-fact generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analyses.facts import PRESETS, preset, synthesize
+
+
+class TestGenerator:
+    def test_deterministic_for_seed(self):
+        a = synthesize("x", seed=42)
+        b = synthesize("x", seed=42)
+        assert a.extends == b.extends
+        assert a.assigns == b.assigns
+        assert a.virtual_calls == b.virtual_calls
+
+    def test_different_seeds_differ(self):
+        a = synthesize("x", seed=1)
+        b = synthesize("x", seed=2)
+        assert a.assigns != b.assigns or a.extends != b.extends
+
+    def test_hierarchy_is_single_inheritance_tree(self):
+        facts = synthesize("x", n_classes=30, seed=5)
+        sup = facts.superclass()
+        assert "C0" not in sup  # root
+        assert set(sup) == set(facts.classes) - {"C0"}
+        # acyclic: every chain terminates at C0
+        for cls in facts.classes:
+            chain = facts.ancestors(cls)
+            assert chain[-1] == "C0"
+            assert len(chain) == len(set(chain))
+
+    def test_declares_are_consistent(self):
+        facts = synthesize("x", seed=5)
+        for cls, sig, method in facts.declares:
+            assert cls in facts.classes
+            assert sig in facts.signatures
+            assert method == f"{cls}.{sig}"
+
+    def test_resolve_reference_walks_up(self):
+        facts = synthesize("x", n_classes=10, seed=3)
+        # Root declares a base set, so resolution from any class finds a
+        # target for those signatures.
+        root_sigs = [s for c, s, _ in facts.declares if c == "C0"]
+        for cls in facts.classes:
+            for sig in root_sigs:
+                assert facts.resolve(cls, sig) is not None
+
+    def test_resolve_missing_signature(self):
+        facts = synthesize("x", n_classes=5, n_signatures=6, seed=3)
+        assert facts.resolve("C0", "nonexistent()") is None
+
+    def test_variables_belong_to_methods(self):
+        facts = synthesize("x", seed=4)
+        owned = {v for _, v in facts.method_vars}
+        assert owned == set(facts.variables)
+
+    def test_body_facts_reference_known_entities(self):
+        facts = synthesize("x", seed=9)
+        vars_ = set(facts.variables)
+        for dst, src in facts.assigns:
+            assert dst in vars_ and src in vars_
+        for base, f, src in facts.stores:
+            assert base in vars_ and src in vars_ and f in facts.fields
+        for dst, base, f in facts.loads:
+            assert dst in vars_ and base in vars_ and f in facts.fields
+        for site, recv, sig in facts.virtual_calls:
+            assert recv in vars_ and sig in facts.signatures
+
+    def test_counts_structure(self):
+        counts = synthesize("x", seed=1).counts()
+        assert counts["classes"] == 20
+        assert counts["variables"] > 0
+
+
+class TestPresets:
+    def test_all_presets_build(self):
+        for name in PRESETS:
+            facts = preset(name)
+            assert facts.name == name
+            assert facts.counts()["classes"] > 0
+
+    def test_presets_scale_up(self):
+        sizes = [
+            preset(n).counts()["variables"]
+            for n in ["javac-s", "compress", "javac", "sablecc", "jedit"]
+        ]
+        assert sizes == sorted(sizes)  # small to large
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            preset("quake3")
+
+
+@given(
+    n_classes=st.integers(2, 25),
+    n_signatures=st.integers(1, 10),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_generator_invariants(n_classes, n_signatures, seed):
+    facts = synthesize(
+        "prop", n_classes=n_classes, n_signatures=n_signatures, seed=seed
+    )
+    assert len(facts.classes) == n_classes
+    # tree shape
+    assert len(facts.extends) == n_classes - 1
+    # no duplicate declarations
+    assert len(set(facts.declares)) == len(facts.declares)
+    # ancestors terminate
+    for cls in facts.classes:
+        assert facts.ancestors(cls)[-1] == "C0"

@@ -1,0 +1,144 @@
+"""Tests for the finite-domain-block layer (BuDDy's fdd facility)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDDError
+from repro.bdd.fdd import FDDManager
+
+
+@pytest.fixture
+def f():
+    m = FDDManager()
+    m.extdomain([("A", 10), ("B", 10), ("C", 4)])
+    return m
+
+
+class TestAllocation:
+    def test_widths(self, f):
+        assert f.domains["A"].bits == 4  # 10 values -> 4 bits
+        assert f.domains["C"].bits == 2
+
+    def test_levels_disjoint(self, f):
+        seen = set()
+        for dom in f.domains.values():
+            for level in dom.levels:
+                assert level not in seen
+                seen.add(level)
+        assert len(seen) == f.manager.num_vars
+
+    def test_interleaving(self, f):
+        a, b = f.domains["A"], f.domains["B"]
+        # MSBs of equal-width domains allocated adjacently.
+        assert abs(a.levels[-1] - b.levels[-1]) == 1
+
+    def test_non_interleaved(self):
+        m = FDDManager()
+        m.extdomain([("X", 8), ("Y", 8)], interleave=False)
+        x, y = m.domains["X"], m.domains["Y"]
+        assert max(x.levels) < min(y.levels)
+
+    def test_duplicate_name_rejected(self, f):
+        with pytest.raises(BDDError):
+            f.extdomain([("A", 4)])
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(BDDError):
+            FDDManager().extdomain([("X", 0)])
+
+    def test_incremental_allocation(self, f):
+        before = f.manager.num_vars
+        f.extdomain([("D", 16)])
+        assert f.manager.num_vars == before + 4
+
+
+class TestEncoding:
+    def test_ithvar_roundtrip(self, f):
+        node = f.ithvar("A", 7)
+        assert list(f.all_tuples(node, "A")) == [(7,)]
+
+    def test_ithvar_out_of_range(self, f):
+        with pytest.raises(BDDError):
+            f.ithvar("A", 10)
+
+    def test_domain_bdd_counts_values(self, f):
+        # A holds 10 of 16 possible bit patterns.
+        assert f.satcount(f.domain_bdd("A"), "A") == 10
+
+    def test_equals(self, f):
+        eq = f.equals("A", "B")
+        matches = set(f.all_tuples(f.manager.apply_and(
+            eq, f.manager.apply_and(f.domain_bdd("A"), f.domain_bdd("B"))
+        ), "A", "B"))
+        assert matches == {(v, v) for v in range(10)}
+
+    def test_equals_width_mismatch(self, f):
+        with pytest.raises(BDDError):
+            f.equals("A", "C")
+
+    def test_tuple_bdd(self, f):
+        node = f.tuple_bdd({"A": 3, "B": 5})
+        assert list(f.all_tuples(node, "A", "B")) == [(3, 5)]
+
+
+class TestOperations:
+    def test_exist_removes_domain(self, f):
+        node = f.tuple_bdd({"A": 3, "B": 5})
+        only_a = f.exist(node, "B")
+        assert list(f.all_tuples(only_a, "A")) == [(3,)]
+
+    def test_replace_moves_values(self, f):
+        node = f.tuple_bdd({"A": 6})
+        moved = f.replace(node, [("A", "B")])
+        assert list(f.all_tuples(moved, "B")) == [(6,)]
+
+    def test_replace_swap(self, f):
+        node = f.tuple_bdd({"A": 1, "B": 2})
+        swapped = f.replace(node, [("A", "B"), ("B", "A")])
+        assert list(f.all_tuples(swapped, "A", "B")) == [(2, 1)]
+
+    def test_replace_width_mismatch(self, f):
+        with pytest.raises(BDDError):
+            f.replace(f.ithvar("A", 1), [("A", "C")])
+
+    def test_unknown_domain(self, f):
+        with pytest.raises(BDDError):
+            f.ithvar("NOPE", 0)
+
+
+@given(
+    pairs=st.sets(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=12
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_fdd_relation_roundtrip(pairs):
+    """Encoding a binary relation through fdd and reading it back."""
+    f = FDDManager()
+    f.extdomain([("A", 10), ("B", 10)])
+    node = 0
+    for a, b in pairs:
+        node = f.manager.apply_or(node, f.tuple_bdd({"A": a, "B": b}))
+    assert set(f.all_tuples(node, "A", "B")) == pairs
+    assert f.satcount(node, "A", "B") == len(pairs)
+
+
+@given(
+    pairs=st.sets(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=10
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_fdd_composition_semantics(pairs):
+    """exists M. r(A,M) & r'(M,B) equals the set-level composition."""
+    f = FDDManager()
+    f.extdomain([("A", 8), ("M", 8), ("B", 8)])
+    r1 = 0
+    r2 = 0
+    for a, b in pairs:
+        r1 = f.manager.apply_or(r1, f.tuple_bdd({"A": a, "M": b}))
+        r2 = f.manager.apply_or(r2, f.tuple_bdd({"M": a, "B": b}))
+    composed = f.and_exist(r1, r2, "M")
+    expected = {(a, c) for a, b in pairs for b2, c in pairs if b == b2}
+    assert set(f.all_tuples(composed, "A", "B")) == expected

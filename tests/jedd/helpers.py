@@ -1,0 +1,74 @@
+"""Shared Jedd sources for the language test suite."""
+
+# The declarations common to most test programs.
+PRELUDE = """
+domain Type 16;
+domain Signature 16;
+domain Method 16;
+attribute rectype : Type;
+attribute signature : Signature;
+attribute tgttype : Type;
+attribute method : Method;
+attribute subtype : Type;
+attribute supertype : Type;
+attribute type : Type;
+physdom T1 4;
+physdom T2 4;
+physdom T3 4;
+physdom S1 4;
+physdom M1 4;
+"""
+
+# Figure 4 of the paper: virtual call resolution, verbatim modulo host
+# statement syntax.  (The extend parameter needs a third Type physical
+# domain -- the situation section 3.3.3 walks through.)
+FIGURE4 = PRELUDE + """
+<type:T1, signature:S1, method:M1> declaresMethod;
+<rectype, signature, tgttype, method> answer = 0B;
+
+def resolve(<rectype:T1, signature:S1> receiverTypes,
+            <subtype:T2, supertype:T3> extend) {
+  <rectype, signature, tgttype> toResolve =
+      (rectype => rectype tgttype) receiverTypes;
+  do {
+    <rectype:T1, signature:S1, tgttype:T2, method:M1> resolved =
+      toResolve{tgttype, signature} >< declaresMethod{type, signature};
+    answer |= resolved;
+    toResolve -= (method=>) resolved;
+    toResolve = (supertype=>tgttype) (toResolve{tgttype} <> extend{subtype});
+  } while (toResolve != 0B);
+}
+"""
+
+# The unsatisfiable example of section 3.3.3: only T1 is available for
+# both rectype and supertype of the compose result.
+UNSAT_333 = """
+domain Type 16;
+domain Signature 16;
+attribute rectype : Type;
+attribute signature : Signature;
+attribute tgttype : Type;
+attribute subtype : Type;
+attribute supertype : Type;
+physdom T1 4;
+physdom T2 4;
+physdom S1 4;
+
+<rectype:T1, signature:S1, tgttype:T2> toResolve;
+<supertype:T1, subtype:T2> extend;
+<rectype, signature, supertype> result;
+
+def go() {
+  result = toResolve{tgttype} <> extend{subtype};
+}
+"""
+
+FIGURE4_DATA = {
+    "declares": [("A", "foo()", "A.foo()"), ("B", "bar()", "B.bar()")],
+    "receivers": [("B", "foo()"), ("B", "bar()")],
+    "extend": [("B", "A")],
+    "answer": {
+        ("B", "foo()", "A", "A.foo()"),
+        ("B", "bar()", "B", "B.bar()"),
+    },
+}

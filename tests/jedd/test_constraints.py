@@ -1,0 +1,171 @@
+"""Tests for constraint-graph construction (section 3.3.2 / Figure 7)."""
+
+from repro.jedd.constraints import build_constraints
+from repro.jedd.parser import parse_program
+from repro.jedd.typecheck import check
+from tests.jedd.helpers import FIGURE4, PRELUDE
+
+
+def graph_of(src):
+    tp = check(parse_program(src))
+    return tp, build_constraints(tp)
+
+
+class TestGraphShape:
+    def test_every_expression_has_nodes(self):
+        tp, g = graph_of(FIGURE4)
+        expr_owners = {
+            key for kind, key in g.owner_maps if kind == "expr"
+        }
+        const_ids = {
+            e.expr_id for e in tp.exprs if type(e).__name__ == "ConstRel"
+        }
+        assert expr_owners == set(range(len(tp.exprs))) - const_ids
+
+    def test_conflicts_are_all_pairs_per_owner(self):
+        tp, g = graph_of(PRELUDE + "<rectype:T1, signature:S1, tgttype:T2> r;")
+        # one owner with 3 attrs -> C(3,2) = 3 conflict edges
+        assert len(g.conflict_edges) == 3
+
+    def test_specified_attrs_recorded(self):
+        tp, g = graph_of(PRELUDE + "<rectype:T1, signature:S1> r;")
+        assert sorted(g.specified.values()) == ["S1", "T1"]
+
+    def test_variable_use_linked_by_equality(self):
+        tp, g = graph_of(
+            PRELUDE
+            + "<rectype:T1> r;\n<rectype:T1> s;\ndef f() { s = r; }"
+        )
+        # the use of r must have an equality edge to r's variable node
+        use_nodes = [
+            n for n in g.nodes if n.desc == "Variable_use"
+        ]
+        assert use_nodes
+        var_ids = {
+            n.node_id for n in g.nodes if n.desc == "variable r"
+        }
+        eq_pairs = set(g.equality_edges) | {
+            (b, a) for a, b in g.equality_edges
+        }
+        assert any(
+            (u.node_id, v) in eq_pairs for u in use_nodes for v in var_ids
+        )
+
+    def test_wrapper_assignment_edges(self):
+        tp, g = graph_of(
+            PRELUDE
+            + "<rectype:T1> r;\n<rectype:T1> s;\ndef f() { s = r; }"
+        )
+        # one wrapper above the use, linked by an assignment edge
+        wrap_nodes = [n for n in g.nodes if n.owner_kind == "wrap"]
+        assert wrap_nodes
+        assert len(g.assignment_edges) >= 1
+
+    def test_constants_produce_no_nodes(self):
+        tp, g = graph_of(PRELUDE + "<rectype:T1> r = 0B;")
+        assert all(n.desc != "Constant" for n in g.nodes)
+        # also no wrapper for the constant
+        assert not [n for n in g.nodes if n.owner_kind == "wrap"]
+
+
+class TestFigure7:
+    """The join of Figure 4 lines 6-7 yields the Figure 7 structure."""
+
+    # As in the paper's figure: only `resolved` carries specifications;
+    # the assignment algorithm completes the rest with zero replaces.
+    SRC = (
+        PRELUDE
+        + """
+<rectype, signature, tgttype> toResolve;
+<type, signature, method> declaresMethod;
+<rectype:T1, signature:S1, tgttype:T2, method:M1> resolved;
+
+def f() {
+  resolved = toResolve{tgttype, signature} >< declaresMethod{type, signature};
+}
+"""
+    )
+
+    def test_four_components_and_domains(self):
+        """The graph splits into the paper's four groups: all rectype
+        attributes, all signature attributes, tgttype+type, and method."""
+        tp, g = graph_of(self.SRC)
+        from repro.jedd.assignment import DomainAssigner
+
+        res = DomainAssigner(
+            g, tp.physdoms, {d: tp.domain_bits(d) for d in tp.domains}
+        ).solve()
+        by_attr = {}
+        for node in g.nodes:
+            by_attr.setdefault(node.attr, set()).add(
+                res.node_domains[node.node_id]
+            )
+        assert by_attr["rectype"] == {"T1"}
+        assert by_attr["signature"] == {"S1"}
+        assert by_attr["tgttype"] == {"T2"}
+        assert by_attr["type"] == {"T2"}  # matched with tgttype
+        assert by_attr["method"] == {"M1"}
+
+    def test_no_replaces_needed(self):
+        """Every wrapper's domains equal its child's: all replace
+        operations are removed prior to code generation."""
+        tp, g = graph_of(self.SRC)
+        from repro.jedd.assignment import DomainAssigner
+
+        res = DomainAssigner(
+            g, tp.physdoms, {d: tp.domain_bits(d) for d in tp.domains}
+        ).solve()
+        for a, b in g.assignment_edges:
+            assert res.node_domains[a] == res.node_domains[b]
+
+    def test_stats_structure(self):
+        tp, g = graph_of(self.SRC)
+        stats = g.stats()
+        assert stats["relation_exprs"] == 3  # two uses + the join
+        assert stats["equality"] > 0
+        assert stats["assignment"] > 0
+        assert stats["conflict"] > 0
+
+
+class TestAdjacency:
+    def test_adjacency_is_symmetric(self):
+        tp, g = graph_of(FIGURE4)
+        adj = g.adjacency()
+        for a, neighbors in adj.items():
+            for b in neighbors:
+                assert a in adj[b]
+
+
+class TestGraphviz:
+    def test_dot_without_assignment(self):
+        from repro.jedd.graphviz import constraints_to_dot
+
+        tp, g = graph_of(PRELUDE + "<rectype:T1> r;\ndef f() { r = r | r; }")
+        dot = constraints_to_dot(g)
+        assert dot.startswith("graph constraints {")
+        assert "rectype" in dot
+        assert dot.count("subgraph") == len(
+            {(n.owner_kind, n.owner_key) for n in g.nodes}
+        )
+
+    def test_dot_with_assignment_colors(self):
+        from repro.jedd.assignment import DomainAssigner
+        from repro.jedd.graphviz import constraints_to_dot
+
+        src = PRELUDE + "<rectype:T1> r;\ndef f() { r = r | r; }"
+        tp, g = graph_of(src)
+        result = DomainAssigner(
+            g, tp.physdoms, {d: tp.domain_bits(d) for d in tp.domains}
+        ).solve()
+        dot = constraints_to_dot(g, result)
+        assert "fillcolor" in dot
+        assert "rectype:T1" in dot
+
+    def test_dot_conflicts_optional(self):
+        from repro.jedd.graphviz import constraints_to_dot
+
+        tp, g = graph_of(PRELUDE + "<rectype:T1, signature:S1> r;")
+        without = constraints_to_dot(g)
+        with_conf = constraints_to_dot(g, include_conflicts=True)
+        assert "dotted" not in without
+        assert "dotted" in with_conf

@@ -1,0 +1,279 @@
+"""End-to-end interpreter tests, including the Figure 4 walkthrough."""
+
+import pytest
+
+from repro.jedd.compiler import compile_source
+from repro.jedd.interp import JeddRuntimeError
+from tests.jedd.helpers import FIGURE4, FIGURE4_DATA, PRELUDE
+
+
+@pytest.fixture(scope="module")
+def figure4_compiled():
+    return compile_source(FIGURE4)
+
+
+def run_figure4(cp, backend="bdd"):
+    it = cp.interpreter(backend=backend)
+    declares = it.relation_of(
+        ["type", "signature", "method"], FIGURE4_DATA["declares"]
+    )
+    it.set_global("declaresMethod", declares)
+    recv = it.relation_of(["rectype", "signature"], FIGURE4_DATA["receivers"])
+    ext = it.relation_of(["subtype", "supertype"], FIGURE4_DATA["extend"])
+    it.call("resolve", recv, ext)
+    return it
+
+
+class TestFigure4:
+    def test_answer_matches_paper(self, figure4_compiled):
+        it = run_figure4(figure4_compiled)
+        got = set(it.global_relation("answer").tuples())
+        assert got == FIGURE4_DATA["answer"]
+
+    def test_answer_matches_paper_on_zdd_backend(self, figure4_compiled):
+        """Section 4.1: the same program runs unmodified on the ZDD
+        backend."""
+        it = run_figure4(figure4_compiled, backend="zdd")
+        got = set(it.global_relation("answer").tuples())
+        assert got == FIGURE4_DATA["answer"]
+
+    def test_first_iteration_resolves_bar(self, figure4_compiled):
+        """Figure 4(c): the first iteration resolves only B.bar()."""
+        cp = figure4_compiled
+        it = cp.interpreter()
+        declares = it.relation_of(
+            ["type", "signature", "method"], FIGURE4_DATA["declares"]
+        )
+        it.set_global("declaresMethod", declares)
+        # Emulate one iteration by hand through the public relations API.
+        recv = it.relation_of(
+            ["rectype", "signature"], FIGURE4_DATA["receivers"]
+        )
+        to_resolve = recv.copy("rectype", ["rectype", "tgttype"])
+        resolved = to_resolve.join(
+            it.global_relation("declaresMethod"),
+            ["tgttype", "signature"],
+            ["type", "signature"],
+        )
+        # schema order: rectype, tgttype, signature, method
+        assert set(resolved.tuples()) == {("B", "B", "bar()", "B.bar()")}
+
+    def test_multi_level_hierarchy(self, figure4_compiled):
+        """Resolution walks more than one level up the hierarchy."""
+        cp = figure4_compiled
+        it = cp.interpreter()
+        declares = it.relation_of(
+            ["type", "signature", "method"], [("A", "foo()", "A.foo()")]
+        )
+        it.set_global("declaresMethod", declares)
+        recv = it.relation_of(["rectype", "signature"], [("C", "foo()")])
+        ext = it.relation_of(
+            ["subtype", "supertype"], [("C", "B"), ("B", "A")]
+        )
+        it.call("resolve", recv, ext)
+        got = set(it.global_relation("answer").tuples())
+        assert got == {("C", "foo()", "A", "A.foo()")}
+
+    def test_unresolvable_call_terminates(self, figure4_compiled):
+        """A signature nobody declares walks off the hierarchy top and
+        the loop still terminates with an empty answer."""
+        cp = figure4_compiled
+        it = cp.interpreter()
+        it.set_global(
+            "declaresMethod",
+            it.relation_of(["type", "signature", "method"], []),
+        )
+        recv = it.relation_of(["rectype", "signature"], [("B", "baz()")])
+        ext = it.relation_of(["subtype", "supertype"], [("B", "A")])
+        it.call("resolve", recv, ext)
+        assert it.global_relation("answer").is_empty()
+
+    def test_replace_log_records_moves(self, figure4_compiled):
+        it = run_figure4(figure4_compiled)
+        # Replaces happen only where the assignment put component
+        # boundaries; each entry names concrete attribute moves.
+        for pos, moves in it.replace_log:
+            assert moves
+            assert all(isinstance(pd, str) for pd in moves.values())
+
+
+class TestLanguageFeatures:
+    def test_host_objects_in_literals(self):
+        src = PRELUDE + (
+            "<rectype:T1> r = 0B;\n"
+            "def add() { r |= new { obj => rectype }; }"
+        )
+        cp = compile_source(src)
+        it = cp.interpreter(host_env={"obj": ("my", "object")})
+        it.call("add")
+        assert list(it.global_relation("r").tuples()) == [(("my", "object"),)]
+
+    def test_missing_host_object(self):
+        src = PRELUDE + (
+            "<rectype:T1> r = 0B;\n"
+            "def add() { r |= new { obj => rectype }; }"
+        )
+        cp = compile_source(src)
+        it = cp.interpreter()
+        with pytest.raises(JeddRuntimeError):
+            it.call("add")
+
+    def test_string_literals(self):
+        src = PRELUDE + (
+            '<rectype:T1> r = 0B;\ndef add() { r |= new { "A" => rectype }; }'
+        )
+        cp = compile_source(src)
+        it = cp.interpreter()
+        it.call("add")
+        assert list(it.global_relation("r").tuples()) == [("A",)]
+
+    def test_if_else(self):
+        src = PRELUDE + (
+            "<rectype:T1> r = 0B;\n<rectype:T1> flag = 0B;\n"
+            "def f() {\n"
+            '  if (flag == 0B) { r |= new { "empty" => rectype }; }\n'
+            '  else { r |= new { "nonempty" => rectype }; }\n'
+            "}"
+        )
+        cp = compile_source(src)
+        it = cp.interpreter()
+        it.call("f")
+        assert list(it.global_relation("r").tuples()) == [("empty",)]
+
+    def test_while_loop(self):
+        # transitive closure of a chain via a while loop
+        # The compose keeps three Type attributes alive at once, so a
+        # third physical domain must be specified somewhere (the exact
+        # situation section 3.3.3 discusses) -- hence `step`'s annotation.
+        src = PRELUDE + (
+            "<subtype:T1, supertype:T2> edges;\n"
+            "<subtype:T1, supertype:T2> closure;\n"
+            "<subtype:T1, supertype:T2> old;\n"
+            "def close() {\n"
+            "  closure = edges;\n"
+            "  old = 0B;\n"
+            "  while (closure != old) {\n"
+            "    old = closure;\n"
+            "    <subtype:T1, tgttype:T3> step = "
+            "closure{supertype} <> (supertype=>tgttype)edges{subtype};\n"
+            "    closure |= (tgttype=>supertype) step;\n"
+            "  }\n"
+            "}"
+        )
+        cp = compile_source(src)
+        it = cp.interpreter()
+        it.set_global(
+            "edges",
+            it.relation_of(
+                ["subtype", "supertype"], [("C", "B"), ("B", "A")]
+            ),
+        )
+        it.call("close")
+        got = set(it.global_relation("closure").tuples())
+        assert got == {("C", "B"), ("B", "A"), ("C", "A")}
+
+    def test_function_call_passes_relations(self):
+        src = PRELUDE + (
+            "<rectype:T1> acc = 0B;\n"
+            "def helper(<rectype:T1> x) { acc |= x; }\n"
+            "def main() {\n"
+            '  helper(new { "A" => rectype });\n'
+            '  helper(new { "B" => rectype });\n'
+            "}"
+        )
+        cp = compile_source(src)
+        it = cp.interpreter()
+        it.call("main")
+        assert set(it.global_relation("acc").tuples()) == {("A",), ("B",)}
+
+    def test_return_exits_early(self):
+        src = PRELUDE + (
+            "<rectype:T1> r = 0B;\n"
+            "def f() {\n"
+            "  return;\n"
+            '  r |= new { "never" => rectype };\n'
+            "}"
+        )
+        cp = compile_source(src)
+        it = cp.interpreter()
+        it.call("f")
+        assert it.global_relation("r").is_empty()
+
+    def test_print_statement(self, capsys):
+        src = PRELUDE + (
+            '<rectype:T1> r = 0B;\n'
+            'def f() { r |= new { "A" => rectype }; print(r); }'
+        )
+        cp = compile_source(src)
+        it = cp.interpreter()
+        it.call("f")
+        out = capsys.readouterr().out
+        assert "rectype" in out and "A" in out
+
+    def test_compound_assignment_ops(self):
+        src = PRELUDE + (
+            "<rectype:T1> r = 0B;\n"
+            "def f() {\n"
+            '  r |= new { "A" => rectype };\n'
+            '  r |= new { "B" => rectype };\n'
+            '  r -= new { "A" => rectype };\n'
+            '  r &= new { "B" => rectype };\n'
+            "}"
+        )
+        cp = compile_source(src)
+        it = cp.interpreter()
+        it.call("f")
+        assert set(it.global_relation("r").tuples()) == {("B",)}
+
+    def test_call_with_wrong_arity_from_host(self):
+        cp = compile_source(FIGURE4)
+        it = cp.interpreter()
+        with pytest.raises(JeddRuntimeError):
+            it.call("resolve")
+
+    def test_call_unknown_function_from_host(self):
+        cp = compile_source(FIGURE4)
+        it = cp.interpreter()
+        with pytest.raises(JeddRuntimeError):
+            it.call("nothere")
+
+    def test_global_initializers_run(self):
+        src = PRELUDE + '<rectype:T1> r = new { "init" => rectype };'
+        cp = compile_source(src)
+        it = cp.interpreter()
+        assert list(it.global_relation("r").tuples()) == [("init",)]
+
+    def test_1b_initializer(self):
+        src = PRELUDE + "<rectype:T1> r = 1B;"
+        cp = compile_source(src)
+        it = cp.interpreter()
+        assert it.global_relation("r").size() == 16  # 2^4 bit patterns
+
+
+class TestRecursion:
+    def test_recursive_function(self):
+        """Functions may call themselves; recursion unwinds when the
+        work relation empties (hierarchy walking, recursively)."""
+        src = PRELUDE + (
+            "<rectype:T1> visited = 0B;\n"
+            "<subtype:T2, supertype:T3> edges;\n"
+            "def walk(<rectype:T1> frontier) {\n"
+            "  if (frontier == 0B) { return; }\n"
+            "  visited |= frontier;\n"
+            "  <rectype:T1> next = (supertype=>rectype)\n"
+            "      (((rectype=>subtype) frontier){subtype} <> edges{subtype});\n"
+            "  walk(next - visited);\n"
+            "}"
+        )
+        cp = compile_source(src)
+        it = cp.interpreter()
+        it.set_global(
+            "edges",
+            it.relation_of(
+                ["subtype", "supertype"],
+                [("D", "C"), ("C", "B"), ("B", "A")],
+            ),
+        )
+        it.call("walk", it.relation_of(["rectype"], [("D",)]))
+        got = {t[0] for t in it.global_relation("visited").tuples()}
+        assert got == {"D", "C", "B", "A"}

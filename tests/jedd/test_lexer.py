@@ -1,0 +1,86 @@
+"""Tests for the Jedd tokenizer."""
+
+import pytest
+
+from repro.jedd.lexer import LexError, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_empty_input_gives_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind == "eof"
+
+    def test_identifiers_and_keywords(self):
+        toks = tokenize("domain toResolve while whilex")
+        assert [t.kind for t in toks[:-1]] == [
+            "keyword",
+            "ident",
+            "keyword",
+            "ident",
+        ]
+
+    def test_relation_constants(self):
+        toks = tokenize("0B 1B 0 1 2B")
+        assert [t.kind for t in toks[:-1]] == [
+            "relconst",
+            "relconst",
+            "int",
+            "int",
+            "int",
+            "ident",
+        ]
+
+    def test_join_and_compose_symbols(self):
+        assert texts("x{a} >< y{b}") == ["x", "{", "a", "}", "><", "y", "{", "b", "}"]
+        assert "<>" in texts("x{a} <> y{b}")
+
+    def test_arrow_and_compound_assign(self):
+        assert texts("a=>b |= &= -= == !=") == ["a", "=>", "b", "|=", "&=", "-=", "==", "!="]
+
+    def test_maximal_munch_angle_brackets(self):
+        # "<type," must not lex "<>"; "<>" alone must.
+        assert texts("<type>")[0] == "<"
+        assert texts("<>") == ["<>"]
+
+    def test_string_literal(self):
+        toks = tokenize('"B.bar()"')
+        assert toks[0].kind == "string"
+        assert toks[0].text == "B.bar()"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_string_with_newline_rejected(self):
+        with pytest.raises(LexError):
+            tokenize('"a\nb"')
+
+    def test_line_comment(self):
+        assert texts("a // comment >< junk\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* >< \n <> */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+    def test_positions(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].pos.line, toks[0].pos.column) == (1, 1)
+        assert (toks[1].pos.line, toks[1].pos.column) == (2, 3)
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_underscored_identifier(self):
+        assert tokenize("_foo_1")[0].kind == "ident"

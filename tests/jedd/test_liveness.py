@@ -1,0 +1,148 @@
+"""Tests for the liveness analysis and eager-free insertion (4.2)."""
+
+from repro.jedd import ast
+from repro.jedd.liveness import expr_uses, insert_frees
+from repro.jedd.parser import parse_expression, parse_program
+from repro.jedd.typecheck import check
+from tests.jedd.helpers import FIGURE4, PRELUDE
+
+
+def frees_in(block):
+    out = []
+    for stmt in block.stmts:
+        if isinstance(stmt, ast.FreeStmt):
+            out.append(stmt.name)
+        elif isinstance(stmt, (ast.WhileStmt, ast.DoWhileStmt)):
+            out.extend(frees_in(stmt.body))
+        elif isinstance(stmt, ast.IfStmt):
+            out.extend(frees_in(stmt.then_block))
+            if stmt.else_block is not None:
+                out.extend(frees_in(stmt.else_block))
+    return out
+
+
+def analyzed(src):
+    tp = check(parse_program(src))
+    insert_frees(tp)
+    return tp
+
+
+class TestExprUses:
+    def test_var(self):
+        assert expr_uses(parse_expression("x")) == {"x"}
+
+    def test_setop(self):
+        assert expr_uses(parse_expression("x | y - z")) == {"x", "y", "z"}
+
+    def test_join(self):
+        assert expr_uses(parse_expression("x{a} >< y{b}")) == {"x", "y"}
+
+    def test_replace(self):
+        assert expr_uses(parse_expression("(a=>b) x")) == {"x"}
+
+    def test_literal_and_const(self):
+        assert expr_uses(parse_expression("0B")) == set()
+        assert expr_uses(parse_expression('new { "A" => a }')) == set()
+
+
+class TestFreeInsertion:
+    def test_local_freed_after_last_use(self):
+        tp = analyzed(
+            PRELUDE
+            + "<rectype:T1> g = 0B;\n"
+            + "def f() {\n"
+            + "  <rectype:T1> tmp = g;\n"
+            + "  g |= tmp;\n"
+            + "  g |= g;\n"
+            + "}"
+        )
+        body = tp.functions["f"].decl.body
+        names = frees_in(body)
+        assert "tmp" in names
+        # the free comes after the last use (statement index 2 onwards)
+        stmts = body.stmts
+        last_use = max(
+            i
+            for i, s in enumerate(stmts)
+            if not isinstance(s, ast.FreeStmt)
+            and "tmp" in _mentions(s)
+        )
+        free_idx = next(
+            i
+            for i, s in enumerate(stmts)
+            if isinstance(s, ast.FreeStmt) and s.name == "tmp"
+        )
+        assert free_idx > last_use
+
+    def test_globals_never_freed(self):
+        tp = analyzed(
+            PRELUDE
+            + "<rectype:T1> g = 0B;\ndef f() { g |= g; }"
+        )
+        assert frees_in(tp.functions["f"].decl.body) == []
+
+    def test_parameters_freed(self):
+        tp = analyzed(
+            PRELUDE
+            + "<rectype:T1> g = 0B;\n"
+            + "def f(<rectype:T1> p) { g |= p; g |= g; }"
+        )
+        assert "p" in frees_in(tp.functions["f"].decl.body)
+
+    def test_variable_live_across_loop_not_freed_inside(self):
+        tp = analyzed(
+            PRELUDE
+            + "<rectype:T1> g = 0B;\n"
+            + "def f() {\n"
+            + "  <rectype:T1> acc = 0B;\n"
+            + "  while (g != 0B) {\n"
+            + "    acc |= g;\n"
+            + "    g -= acc;\n"
+            + "  }\n"
+            + "  g = acc;\n"
+            + "}"
+        )
+        body = tp.functions["f"].decl.body
+        loop = next(s for s in body.stmts if isinstance(s, ast.WhileStmt))
+        assert "acc" not in frees_in(loop.body)
+        # but acc is freed after its final use outside the loop
+        top_level_frees = [
+            s.name for s in body.stmts if isinstance(s, ast.FreeStmt)
+        ]
+        assert "acc" in top_level_frees
+
+    def test_loop_temporary_freed_inside_loop(self):
+        tp = analyzed(FIGURE4)
+        body = tp.functions["resolve"].decl.body
+        loop = next(s for s in body.stmts if isinstance(s, ast.DoWhileStmt))
+        # `resolved` dies within each iteration
+        assert "resolved" in frees_in(loop.body)
+
+    def test_figure4_executes_with_frees(self):
+        """Eager frees must not break execution (use-after-free would
+        raise)."""
+        from repro.jedd.compiler import compile_source
+        from tests.jedd.helpers import FIGURE4_DATA
+
+        cp = compile_source(FIGURE4, liveness=True)
+        it = cp.interpreter()
+        it.set_global(
+            "declaresMethod",
+            it.relation_of(
+                ["type", "signature", "method"], FIGURE4_DATA["declares"]
+            ),
+        )
+        it.call(
+            "resolve",
+            it.relation_of(["rectype", "signature"], FIGURE4_DATA["receivers"]),
+            it.relation_of(["subtype", "supertype"], FIGURE4_DATA["extend"]),
+        )
+        assert set(it.global_relation("answer").tuples()) == FIGURE4_DATA[
+            "answer"
+        ]
+
+
+def _mentions(stmt):
+    from repro.jedd.liveness import _stmt_defs, _stmt_uses
+
+    return _stmt_uses(stmt) | _stmt_defs(stmt)

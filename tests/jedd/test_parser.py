@@ -1,0 +1,188 @@
+"""Tests for the Jedd parser (the Figure 5 grammar)."""
+
+import pytest
+
+from repro.jedd import ast
+from repro.jedd.parser import ParseError, parse_expression, parse_program
+from tests.jedd.helpers import FIGURE4
+
+
+class TestExpressions:
+    def test_variable(self):
+        e = parse_expression("x")
+        assert isinstance(e, ast.VarRef) and e.name == "x"
+
+    def test_constants(self):
+        assert parse_expression("0B").full is False
+        assert parse_expression("1B").full is True
+
+    def test_union_left_assoc(self):
+        e = parse_expression("a | b | c")
+        assert isinstance(e, ast.SetOp) and e.op == "|"
+        assert isinstance(e.left, ast.SetOp)
+        assert e.left.right.name == "b"
+
+    def test_precedence_union_lowest(self):
+        e = parse_expression("a | b & c")
+        assert e.op == "|"
+        assert isinstance(e.right, ast.SetOp) and e.right.op == "&"
+
+    def test_precedence_diff_tighter_than_and(self):
+        e = parse_expression("a & b - c")
+        assert e.op == "&"
+        assert e.right.op == "-"
+
+    def test_join(self):
+        e = parse_expression("x{a, b} >< y{c, d}")
+        assert isinstance(e, ast.JoinOp)
+        assert e.op == "><"
+        assert e.left_attrs == ["a", "b"]
+        assert e.right_attrs == ["c", "d"]
+
+    def test_compose(self):
+        e = parse_expression("x{a} <> y{b}")
+        assert e.op == "<>"
+
+    def test_join_left_assoc(self):
+        e = parse_expression("x{a} >< y{b} {c} <> z{d}")
+        assert e.op == "<>"
+        assert isinstance(e.left, ast.JoinOp) and e.left.op == "><"
+        assert e.left_attrs == ["c"]
+
+    def test_join_binds_tighter_than_diff(self):
+        e = parse_expression("w - x{a} >< y{b}")
+        assert isinstance(e, ast.SetOp) and e.op == "-"
+        assert isinstance(e.right, ast.JoinOp)
+
+    def test_project(self):
+        e = parse_expression("(a=>) x")
+        assert isinstance(e, ast.ReplaceOp)
+        assert e.replacements[0].source == "a"
+        assert e.replacements[0].targets == []
+
+    def test_rename(self):
+        e = parse_expression("(a=>b) x")
+        assert e.replacements[0].targets == ["b"]
+
+    def test_copy(self):
+        e = parse_expression("(a=>b c) x")
+        assert e.replacements[0].targets == ["b", "c"]
+
+    def test_multiple_replacements(self):
+        e = parse_expression("(a=>b, c=>) x")
+        assert len(e.replacements) == 2
+
+    def test_replace_applies_to_following_join(self):
+        e = parse_expression("(a=>b) x{b} >< y{c}")
+        # The cast binds tighter: ((a=>b) x){b} >< y{c}
+        assert isinstance(e, ast.JoinOp)
+        assert isinstance(e.left, ast.ReplaceOp)
+
+    def test_parenthesized_expression_vs_cast(self):
+        e = parse_expression("(a | b)")
+        assert isinstance(e, ast.SetOp)
+
+    def test_new_literal_strings(self):
+        e = parse_expression('new { "B" => type, "bar()" => signature }')
+        assert isinstance(e, ast.NewRel)
+        assert e.pieces[0].is_string and e.pieces[0].value == "B"
+        assert e.pieces[1].attr == "signature"
+
+    def test_new_literal_host_idents_and_physdoms(self):
+        e = parse_expression("new { t => type : T1 }")
+        assert not e.pieces[0].is_string
+        assert e.pieces[0].physdom == "T1"
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a b")
+
+    def test_join_missing_attr_list(self):
+        with pytest.raises(ParseError):
+            parse_expression("x{a} >< y")
+
+    def test_bad_join_symbol(self):
+        with pytest.raises(ParseError):
+            parse_expression("x{a} == y{b}")
+
+
+class TestPrograms:
+    def test_figure4_parses(self):
+        prog = parse_program(FIGURE4)
+        funcs = [d for d in prog.decls if isinstance(d, ast.FuncDecl)]
+        assert [f.name for f in funcs] == ["resolve"]
+        assert len(funcs[0].params) == 2
+
+    def test_relation_type_with_physdoms(self):
+        prog = parse_program(
+            "domain D 4; attribute a : D; physdom P 2; <a:P> x;"
+        )
+        decl = prog.decls[-1]
+        assert isinstance(decl, ast.VarDecl)
+        assert decl.rel_type.specs[0].physdom == "P"
+
+    def test_global_with_initializer(self):
+        prog = parse_program(
+            "domain D 4; attribute a : D; physdom P 2; <a:P> x = 0B;"
+        )
+        assert isinstance(prog.decls[-1].init, ast.ConstRel)
+
+    def test_statements(self):
+        prog = parse_program(
+            """
+            domain D 4; attribute a : D; physdom P 2;
+            <a:P> x;
+            def f() {
+              x = 0B;
+              x |= x;
+              if (x == 0B) { x = 1B; } else { x -= x; }
+              while (x != 0B) { x &= x; }
+              do { x = 0B; } while (x != 0B);
+              print(x);
+              return;
+            }
+            """
+        )
+        func = prog.decls[-1]
+        types = [type(s).__name__ for s in func.body.stmts]
+        assert types == [
+            "AssignStmt",
+            "AssignStmt",
+            "IfStmt",
+            "WhileStmt",
+            "DoWhileStmt",
+            "PrintStmt",
+            "ReturnStmt",
+        ]
+
+    def test_call_statement(self):
+        prog = parse_program(
+            """
+            domain D 4; attribute a : D; physdom P 2;
+            def g(<a:P> y) { return; }
+            def f() { g(0B); }
+            """
+        )
+        call = prog.decls[-1].body.stmts[0]
+        assert isinstance(call, ast.CallStmt)
+        assert call.name == "g" and len(call.args) == 1
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("domain D 4")
+
+    def test_bad_declaration(self):
+        with pytest.raises(ParseError):
+            parse_program("banana D;")
+
+    def test_empty_relation_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("<> x;")
+
+    def test_error_mentions_position(self):
+        try:
+            parse_program("domain D 4;\n  junk")
+        except ParseError as e:
+            assert "2," in str(e)
+        else:
+            pytest.fail("expected ParseError")

@@ -1,0 +1,323 @@
+"""Tests for the Figure 6 typing rules."""
+
+import pytest
+
+from repro.jedd.parser import parse_program
+from repro.jedd.typecheck import TypeError_, check
+from tests.jedd.helpers import FIGURE4, PRELUDE
+
+
+def check_src(src):
+    return check(parse_program(src))
+
+
+def expect_error(src, fragment):
+    with pytest.raises(TypeError_) as err:
+        check_src(src)
+    assert fragment in str(err.value)
+
+
+GOOD_DECLS = PRELUDE + "<rectype:T1, signature:S1> r;\n"
+
+
+class TestDeclarations:
+    def test_figure4_checks(self):
+        tp = check_src(FIGURE4)
+        assert "resolve" in tp.functions
+        assert tp.domains["Type"] == 16
+
+    def test_domain_redeclared(self):
+        expect_error("domain D 4; domain D 4;", "redeclared")
+
+    def test_attribute_unknown_domain(self):
+        expect_error("attribute a : D;", "unknown domain")
+
+    def test_physdom_too_small_for_attribute(self):
+        expect_error(
+            "domain D 100; attribute a : D; physdom P 2; <a:P> x;",
+            "too small",
+        )
+
+    def test_duplicate_attr_in_relation_type(self):
+        expect_error(
+            PRELUDE + "<rectype, rectype> r;", "appears twice"
+        )
+
+    def test_unknown_attribute_in_type(self):
+        expect_error(PRELUDE + "<nosuch> r;", "unknown attribute")
+
+    def test_variable_redeclared(self):
+        expect_error(GOOD_DECLS + "<rectype> r;", "redeclared")
+
+    def test_locals_shadow_per_function(self):
+        # Two functions may each declare a local of the same name.
+        check_src(
+            PRELUDE
+            + """
+            def f() { <rectype:T1> x = 0B; }
+            def g() { <signature:S1> x = 0B; }
+            """
+        )
+
+
+class TestAssignability:
+    def test_constants_assignable_to_any_schema(self):
+        check_src(GOOD_DECLS + "def f() { r = 0B; r = 1B; }")
+
+    def test_schema_mismatch_rejected(self):
+        expect_error(
+            GOOD_DECLS + "<tgttype:T2> s;\ndef f() { r = s; }",
+            "cannot assign",
+        )
+
+    def test_attribute_order_is_irrelevant(self):
+        check_src(
+            GOOD_DECLS
+            + "<signature:S1, rectype:T1> s;\ndef f() { r = s; }"
+        )
+
+    def test_compound_assignment_checked(self):
+        expect_error(
+            GOOD_DECLS + "<tgttype:T2> s;\ndef f() { r |= s; }",
+            "cannot assign",
+        )
+
+    def test_unknown_variable(self):
+        expect_error(PRELUDE + "def f() { nosuch = 0B; }", "unknown variable")
+
+
+class TestSetOpsAndCompare:
+    def test_setop_same_schema_ok(self):
+        check_src(GOOD_DECLS + "def f() { r = r | r & r - r; }")
+
+    def test_setop_schema_mismatch(self):
+        expect_error(
+            GOOD_DECLS + "<tgttype:T2> s;\ndef f() { r = r | s; }",
+            "different schemas",
+        )
+
+    def test_setop_constant_rejected(self):
+        # Figure 6's [SetOp] requires x : T, y : T.
+        expect_error(
+            GOOD_DECLS + "def f() { r = r | 0B; }",
+            "constant not allowed",
+        )
+
+    def test_compare_with_constant(self):
+        check_src(GOOD_DECLS + "def f() { if (r == 0B) { } }")
+        check_src(GOOD_DECLS + "def f() { if (1B != r) { } }")
+
+    def test_compare_two_constants_rejected(self):
+        expect_error(
+            GOOD_DECLS + "def f() { if (0B == 1B) { } }",
+            "two relation constants",
+        )
+
+    def test_compare_schema_mismatch(self):
+        expect_error(
+            GOOD_DECLS + "<tgttype:T2> s;\ndef f() { if (r == s) { } }",
+            "incompatible schemas",
+        )
+
+
+class TestAttributeManipulation:
+    def test_project(self):
+        tp = check_src(GOOD_DECLS + "<rectype:T1> p;\ndef f() { p = (signature=>) r; }")
+        assert tp is not None
+
+    def test_project_unknown_attribute(self):
+        expect_error(
+            GOOD_DECLS + "def f() { r = (tgttype=>) r; }",
+            "not in operand schema",
+        )
+
+    def test_rename(self):
+        check_src(
+            GOOD_DECLS
+            + "<tgttype:T1, signature:S1> s;\n"
+            + "def f() { s = (rectype=>tgttype) r; }"
+        )
+
+    def test_rename_target_exists(self):
+        expect_error(
+            PRELUDE
+            + "<rectype:T1, tgttype:T2> r;\n"
+            + "def f() { r = (rectype=>tgttype) r; }",
+            "already in schema",
+        )
+
+    def test_rename_across_domains_rejected(self):
+        expect_error(
+            GOOD_DECLS + "def f() { r = (rectype=>signature) r; }",
+            "different domains",
+        )
+
+    def test_copy(self):
+        check_src(
+            GOOD_DECLS
+            + "<rectype:T1, tgttype:T2, signature:S1> s;\n"
+            + "def f() { s = (rectype=>rectype tgttype) r; }"
+        )
+
+    def test_copy_same_targets_rejected(self):
+        expect_error(
+            GOOD_DECLS + "def f() { r = (rectype=>tgttype tgttype) r; }",
+            "must differ",
+        )
+
+    def test_copy_target_in_schema_rejected(self):
+        expect_error(
+            GOOD_DECLS
+            + "def f() { r = (rectype=>signature tgttype) r; }",
+            "different domains",
+        )
+
+    def test_manipulating_constant_rejected(self):
+        expect_error(
+            GOOD_DECLS + "def f() { r = (rectype=>) 0B; }",
+            "constant",
+        )
+
+
+class TestJoinCompose:
+    JOIN_DECLS = (
+        PRELUDE
+        + "<rectype:T1, signature:S1> left;\n"
+        + "<subtype:T2, supertype:T3> right;\n"
+    )
+
+    def test_join_schema(self):
+        tp = check_src(
+            self.JOIN_DECLS
+            + "<rectype:T1, signature:S1, supertype:T3> out;\n"
+            + "def f() { out = left{rectype} >< right{subtype}; }"
+        )
+        join = [
+            e for e in tp.exprs if type(e).__name__ == "JoinOp"
+        ][0]
+        assert join.schema == ("rectype", "signature", "supertype")
+
+    def test_compose_schema(self):
+        tp = check_src(
+            self.JOIN_DECLS
+            + "<signature:S1, supertype:T3> out;\n"
+            + "def f() { out = left{rectype} <> right{subtype}; }"
+        )
+        compose = [
+            e for e in tp.exprs if type(e).__name__ == "JoinOp"
+        ][0]
+        assert compose.schema == ("signature", "supertype")
+
+    def test_join_length_mismatch(self):
+        expect_error(
+            self.JOIN_DECLS
+            + "def f() { left = left{rectype, signature} >< right{subtype}; }",
+            "compares 2 against 1",
+        )
+
+    def test_join_unknown_left_attribute(self):
+        expect_error(
+            self.JOIN_DECLS
+            + "def f() { left = left{tgttype} >< right{subtype}; }",
+            "not in left operand",
+        )
+
+    def test_join_unknown_right_attribute(self):
+        expect_error(
+            self.JOIN_DECLS
+            + "def f() { left = left{rectype} >< right{tgttype}; }",
+            "not in right operand",
+        )
+
+    def test_join_domain_mismatch(self):
+        expect_error(
+            self.JOIN_DECLS
+            + "def f() { left = left{signature} >< right{subtype}; }",
+            "different domains",
+        )
+
+    def test_join_overlapping_attrs_rejected(self):
+        expect_error(
+            PRELUDE
+            + "<rectype:T1, signature:S1> a;\n"
+            + "<rectype:T2, signature:S1> b;\n"
+            + "def f() { a = a{rectype} >< b{rectype}; }",
+            "share attribute",
+        )
+
+    def test_compose_overlap_of_kept_attrs_rejected(self):
+        expect_error(
+            PRELUDE
+            + "<rectype:T1, signature:S1> a;\n"
+            + "<subtype:T2, signature:S1> b;\n"
+            + "def f() { a = a{rectype} <> b{subtype}; }",
+            "share attribute",
+        )
+
+    def test_repeated_comparison_attr_rejected(self):
+        expect_error(
+            self.JOIN_DECLS
+            + "def f() { left = left{rectype, rectype} >< "
+            + "right{subtype, supertype}; }",
+            "repeated attribute",
+        )
+
+    def test_join_constant_rejected(self):
+        expect_error(
+            self.JOIN_DECLS + "def f() { left = left{rectype} >< 0B{subtype}; }",
+            "constant",
+        )
+
+
+class TestCalls:
+    CALL_DECLS = (
+        PRELUDE
+        + "<rectype:T1> g;\n"
+        + "def callee(<rectype:T1> p) { return; }\n"
+    )
+
+    def test_call_ok(self):
+        check_src(self.CALL_DECLS + "def f() { callee(g); }")
+
+    def test_call_with_constant(self):
+        check_src(self.CALL_DECLS + "def f() { callee(0B); }")
+
+    def test_call_unknown_function(self):
+        expect_error(PRELUDE + "def f() { nosuch(); }", "unknown function")
+
+    def test_call_arity_mismatch(self):
+        expect_error(
+            self.CALL_DECLS + "def f() { callee(g, g); }", "expects 1"
+        )
+
+    def test_call_schema_mismatch(self):
+        expect_error(
+            self.CALL_DECLS
+            + "<signature:S1> s;\ndef f() { callee(s); }",
+            "cannot assign",
+        )
+
+
+class TestAnnotations:
+    def test_specified_physdoms_recorded(self):
+        tp = check_src(FIGURE4)
+        # resolved's declaration specifies four physical domains.
+        resolved = tp.lookup_var("resolve", "resolved")
+        assert resolved.specified == {
+            "rectype": "T1",
+            "signature": "S1",
+            "tgttype": "T2",
+            "method": "M1",
+        }
+
+    def test_literal_physdom_recorded(self):
+        tp = check_src(
+            PRELUDE
+            + '<rectype:T1> r;\ndef f() { r = new { "A" => rectype : T1 }; }'
+        )
+        assert "T1" in tp.specified.values()
+
+    def test_expr_ids_unique_and_dense(self):
+        tp = check_src(FIGURE4)
+        ids = [e.expr_id for e in tp.exprs]
+        assert ids == list(range(len(tp.exprs)))

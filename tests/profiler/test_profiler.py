@@ -1,0 +1,264 @@
+"""Tests for the profiler: recording, SQL persistence, HTML views."""
+
+import os
+
+import pytest
+
+from repro.profiler import (
+    ProfileEvent,
+    Profiler,
+    generate_report,
+    load_executions,
+    load_shape,
+    load_summary,
+    save_events,
+)
+from repro.relations import Relation, Universe
+
+
+@pytest.fixture
+def u():
+    universe = Universe()
+    d = universe.domain("D", 8)
+    for obj in "abcdef":
+        d.intern(obj)
+    universe.attribute("x", d)
+    universe.attribute("y", d)
+    universe.attribute("z", d)
+    universe.physical_domain("P1", d.bits)
+    universe.physical_domain("P2", d.bits)
+    universe.physical_domain("P3", d.bits)
+    universe.finalize()
+    return universe
+
+
+def workload(u):
+    a = Relation.from_tuples(u, ["x", "y"], [("a", "b"), ("c", "d")], ["P1", "P2"])
+    b = Relation.from_tuples(u, ["y", "z"], [("b", "e"), ("d", "f")], ["P1", "P2"])
+    j = a.join(b, ["y"], ["y"])
+    c = a.compose(b, ["y"], ["y"])
+    un = j.project_away("z") | a
+    return un - a
+
+
+class TestRecorder:
+    def test_records_operations(self, u):
+        with Profiler() as prof:
+            workload(u)
+        ops = {e.op for e in prof.events}
+        assert {"join", "compose", "project_away", "union",
+                "difference"} <= ops
+
+    def test_uninstall_restores(self, u):
+        prof = Profiler().install()
+        prof.uninstall()
+        before = len(prof.events)
+        workload(u)
+        assert len(prof.events) == before
+
+    def test_operator_sugar_is_recorded(self, u):
+        a = Relation.from_tuples(u, ["x"], [("a",)], ["P1"])
+        b = Relation.from_tuples(u, ["x"], [("b",)], ["P1"])
+        with Profiler() as prof:
+            a | b
+            a & b
+            a - b
+        ops = [e.op for e in prof.events]
+        assert ops.count("union") == 1
+        assert ops.count("intersect") == 1
+        assert ops.count("difference") == 1
+
+    def test_event_fields(self, u):
+        with Profiler() as prof:
+            workload(u)
+        for event in prof.events:
+            assert event.seconds >= 0
+            assert event.result_nodes >= 0
+            assert event.operand_nodes
+            assert event.shape is not None
+
+    def test_shapes_disabled(self, u):
+        with Profiler(record_shapes=False) as prof:
+            workload(u)
+        assert all(e.shape is None for e in prof.events)
+
+    def test_summary_aggregates(self, u):
+        with Profiler() as prof:
+            workload(u)
+            workload(u)
+        summary = prof.summary()
+        assert summary["join"]["count"] == 2
+        assert summary["join"]["total_seconds"] >= 0
+        assert summary["join"]["max_nodes"] >= 0
+
+    def test_nested_operations_counted_once_each(self, u):
+        # join's internal replace of the right operand is itself a
+        # Relation.replace call, so replaces show up -- exactly the
+        # operations the paper says one tunes away.
+        a = Relation.from_tuples(u, ["x"], [("a",)], ["P1"])
+        b = Relation.from_tuples(u, ["y"], [("b",)], ["P1"])
+        with Profiler() as prof:
+            a.join(b, ["x"], ["y"])
+        assert [e for e in prof.events if e.op == "join"]
+
+    def test_clear(self, u):
+        with Profiler() as prof:
+            workload(u)
+            prof.clear()
+        assert prof.events == []
+
+    def test_total_time(self, u):
+        with Profiler() as prof:
+            workload(u)
+        assert prof.total_time() == pytest.approx(
+            sum(e.seconds for e in prof.events)
+        )
+
+
+class TestSQL:
+    def test_save_and_load_summary(self, u, tmp_path):
+        with Profiler() as prof:
+            workload(u)
+        db = str(tmp_path / "p.db")
+        written = save_events(db, prof.events)
+        assert written == len(prof.events)
+        summary = load_summary(db)
+        assert {op for op, *_ in summary} == {e.op for e in prof.events}
+
+    def test_load_executions(self, u, tmp_path):
+        with Profiler() as prof:
+            workload(u)
+        db = str(tmp_path / "p.db")
+        save_events(db, prof.events)
+        joins = load_executions(db, "join")
+        assert len(joins) == sum(1 for e in prof.events if e.op == "join")
+
+    def test_load_shape_roundtrip(self, u, tmp_path):
+        with Profiler() as prof:
+            workload(u)
+        db = str(tmp_path / "p.db")
+        save_events(db, prof.events)
+        first = load_executions(db, "join")[0]
+        shape = load_shape(db, first[0])
+        join_events = [e for e in prof.events if e.op == "join"]
+        assert shape == join_events[0].shape
+
+    def test_append_runs(self, u, tmp_path):
+        db = str(tmp_path / "p.db")
+        with Profiler() as prof:
+            workload(u)
+        save_events(db, prof.events)
+        save_events(db, prof.events)
+        summary = dict(
+            (op, count) for op, count, *_ in load_summary(db)
+        )
+        assert summary["join"] == 2
+
+
+class TestHTML:
+    def test_report_files(self, u, tmp_path):
+        with Profiler() as prof:
+            workload(u)
+        db = str(tmp_path / "p.db")
+        save_events(db, prof.events)
+        out = str(tmp_path / "html")
+        index = generate_report(db, out)
+        assert os.path.exists(index)
+        files = os.listdir(out)
+        assert "index.html" in files
+        assert any(f.startswith("op_join") for f in files)
+        assert any(f.startswith("shape_") for f in files)
+
+    def test_overview_links_operations(self, u, tmp_path):
+        with Profiler() as prof:
+            workload(u)
+        db = str(tmp_path / "p.db")
+        save_events(db, prof.events)
+        index = generate_report(db, str(tmp_path / "html"))
+        content = open(index).read()
+        assert "op_join.html" in content
+        assert "executions" in content
+
+    def test_shape_page_contains_svg(self, u, tmp_path):
+        with Profiler() as prof:
+            workload(u)
+        db = str(tmp_path / "p.db")
+        save_events(db, prof.events)
+        out = str(tmp_path / "html")
+        generate_report(db, out)
+        shape_files = [f for f in os.listdir(out) if f.startswith("shape_")]
+        content = open(os.path.join(out, shape_files[0])).read()
+        assert "<svg" in content
+
+    def test_report_without_shapes(self, u, tmp_path):
+        with Profiler(record_shapes=False) as prof:
+            workload(u)
+        db = str(tmp_path / "p.db")
+        save_events(db, prof.events)
+        out = str(tmp_path / "html")
+        index = generate_report(db, out)
+        assert os.path.exists(index)
+
+
+class TestProgramPoints:
+    def test_site_context_manager(self, u):
+        with Profiler() as prof:
+            with prof.site("phase-1"):
+                workload(u)
+            with prof.site("phase-2"):
+                workload(u)
+        sites = {e.site for e in prof.events}
+        assert sites == {"phase-1", "phase-2"}
+
+    def test_summary_by_site(self, u):
+        with Profiler() as prof:
+            with prof.site("only"):
+                workload(u)
+        by_site = prof.summary_by_site()
+        assert all(site == "only" for site, _op in by_site)
+        total = sum(row["count"] for row in by_site.values())
+        assert total == len(prof.events)
+
+    def test_nested_sites_use_innermost(self, u):
+        with Profiler() as prof:
+            with prof.site("outer"):
+                with prof.site("inner"):
+                    workload(u)
+        assert {e.site for e in prof.events} == {"inner"}
+
+    def test_interpreter_attributes_jedd_positions(self):
+        from repro.jedd.compiler import compile_source
+        from tests.jedd.helpers import FIGURE4, FIGURE4_DATA
+
+        cp = compile_source(FIGURE4)
+        it = cp.interpreter()
+        it.set_global(
+            "declaresMethod",
+            it.relation_of(
+                ["type", "signature", "method"], FIGURE4_DATA["declares"]
+            ),
+        )
+        with Profiler(record_shapes=False) as prof:
+            it.call(
+                "resolve",
+                it.relation_of(
+                    ["rectype", "signature"], FIGURE4_DATA["receivers"]
+                ),
+                it.relation_of(
+                    ["subtype", "supertype"], FIGURE4_DATA["extend"]
+                ),
+            )
+        sites = {e.site for e in prof.events if e.site}
+        # every in-loop statement of resolve shows up with its position
+        assert any(site.startswith("resolve:") for site in sites)
+        # the join on the paper's "line 7" runs once per loop iteration
+        join_sites = {
+            e.site for e in prof.events if e.op == "join"
+        }
+        assert len(join_sites) == 1
+        join_site = join_sites.pop()
+        join_count = sum(
+            1 for e in prof.events
+            if e.op == "join" and e.site == join_site
+        )
+        assert join_count == 2  # two hierarchy levels in the example

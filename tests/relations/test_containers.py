@@ -1,0 +1,125 @@
+"""Tests for relation containers and reference-count management (4.2)."""
+
+import pytest
+
+from repro.relations import JeddError, Relation, RelationContainer, Universe
+
+
+def make_universe():
+    u = Universe()
+    d = u.domain("D", 8)
+    u.attribute("a", d)
+    u.physical_domain("P", d.bits)
+    u.finalize()
+    return u
+
+
+def one_tuple(u, obj):
+    return Relation.from_tuple(u, {"a": obj}, {"a": "P"})
+
+
+class TestContainer:
+    def test_set_get_roundtrip(self):
+        u = make_universe()
+        c = RelationContainer("x")
+        r = one_tuple(u, "v")
+        c.set(r)
+        assert c.get() is r
+
+    def test_get_before_set_raises(self):
+        c = RelationContainer("x")
+        with pytest.raises(JeddError):
+            c.get()
+
+    def test_overwrite_releases_old_value(self):
+        u = make_universe()
+        c = RelationContainer("x")
+        r1 = one_tuple(u, "v1")
+        node1 = r1.node
+        refs_held = u.manager.ref_count(node1)
+        c.set(r1)
+        c.set(one_tuple(u, "v2"))
+        # Death case 2: the overwritten BDD's refcount drops immediately.
+        assert u.manager.ref_count(node1) == refs_held - 1
+
+    def test_set_same_value_is_noop(self):
+        u = make_universe()
+        c = RelationContainer("x")
+        r = one_tuple(u, "v")
+        c.set(r)
+        c.set(r)
+        assert c.get() is r  # not released
+
+    def test_free_releases_value(self):
+        u = make_universe()
+        c = RelationContainer("x")
+        c.set(one_tuple(u, "v"))
+        c.free()
+        assert not c.is_set()
+        with pytest.raises(JeddError):
+            c.get()
+
+    def test_container_reusable_after_free(self):
+        # Loop temporaries are freed each iteration and refilled in the
+        # next; the container must stay assignable.
+        u = make_universe()
+        c = RelationContainer("x")
+        c.set(one_tuple(u, "v1"))
+        c.free()
+        c.set(one_tuple(u, "v2"))
+        assert list(c.get().tuples()) == [("v2",)]
+
+    def test_free_is_idempotent(self):
+        u = make_universe()
+        c = RelationContainer("x")
+        c.set(one_tuple(u, "v"))
+        c.free()
+        c.free()
+        assert not c.is_set()
+
+    def test_is_set(self):
+        u = make_universe()
+        c = RelationContainer("x")
+        assert not c.is_set()
+        c.set(one_tuple(u, "v"))
+        assert c.is_set()
+
+    def test_repr_mentions_name(self):
+        c = RelationContainer("answer")
+        assert "answer" in repr(c)
+
+
+class TestReferenceCounting:
+    def test_relation_holds_one_reference(self):
+        u = make_universe()
+        r = one_tuple(u, "v1")  # distinct node from terminals
+        assert u.manager.ref_count(r.node) >= 1
+
+    def test_release_is_idempotent(self):
+        u = make_universe()
+        r = one_tuple(u, "v1")
+        before = u.manager.ref_count(r.node)
+        r.release()
+        r.release()
+        assert u.manager.ref_count(r.node) == before - 1
+
+    def test_dead_temporaries_are_collectable(self):
+        # Death case 1: intermediate results of a loop do not survive GC.
+        u = make_universe()
+        c = RelationContainer("acc")
+        c.set(Relation.empty(u, ["a"], ["P"]))
+        for i in range(8):
+            c.set(c.get() | one_tuple(u, f"v{i}"))
+        live = c.get()
+        u.manager.gc()
+        # The accumulated relation must still be intact after collection.
+        assert {t[0] for t in live.tuples()} == {f"v{i}" for i in range(8)}
+
+    def test_gc_reclaims_after_free(self):
+        u = make_universe()
+        c = RelationContainer("tmp")
+        c.set(one_tuple(u, "v1") | one_tuple(u, "v2") | one_tuple(u, "v3"))
+        nodes_live = u.manager.num_nodes
+        c.free()
+        u.manager.gc()
+        assert u.manager.num_nodes < nodes_live

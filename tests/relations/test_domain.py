@@ -1,0 +1,181 @@
+"""Tests for domains, attributes, physical domains and the universe."""
+
+import pytest
+
+from repro.relations import Domain, JeddError, Universe
+
+
+class TestDomain:
+    def test_intern_assigns_sequential_ids(self):
+        d = Domain("D", 8)
+        assert d.intern("a") == 0
+        assert d.intern("b") == 1
+        assert d.intern("a") == 0  # idempotent
+
+    def test_object_roundtrip(self):
+        d = Domain("D", 8)
+        idx = d.intern(("tuple", 1))
+        assert d.object_of(idx) == ("tuple", 1)
+
+    def test_index_of_unknown_raises(self):
+        d = Domain("D", 8)
+        with pytest.raises(JeddError):
+            d.index_of("missing")
+
+    def test_object_of_out_of_range(self):
+        d = Domain("D", 8)
+        with pytest.raises(JeddError):
+            d.object_of(0)
+
+    def test_overflow(self):
+        d = Domain("D", 2)
+        d.intern("a")
+        d.intern("b")
+        with pytest.raises(JeddError):
+            d.intern("c")
+
+    def test_bits(self):
+        assert Domain("D", 1).bits == 1
+        assert Domain("D", 2).bits == 1
+        assert Domain("D", 3).bits == 2
+        assert Domain("D", 256).bits == 8
+        assert Domain("D", 257).bits == 9
+
+    def test_contains_and_len(self):
+        d = Domain("D", 4)
+        d.intern("x")
+        assert "x" in d
+        assert "y" not in d
+        assert len(d) == 1
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(JeddError):
+            Domain("D", 0)
+
+
+class TestUniverse:
+    def test_domain_registry_dedup(self):
+        u = Universe()
+        a = u.domain("T", 8)
+        b = u.domain("T", 8)
+        assert a is b
+
+    def test_domain_size_conflict(self):
+        u = Universe()
+        u.domain("T", 8)
+        with pytest.raises(JeddError):
+            u.domain("T", 16)
+
+    def test_attribute_registry(self):
+        u = Universe()
+        d = u.domain("T", 8)
+        a = u.attribute("x", d)
+        assert u.attribute("x", d) is a
+        assert u.get_attribute("x") is a
+
+    def test_attribute_domain_conflict(self):
+        u = Universe()
+        d1 = u.domain("T", 8)
+        d2 = u.domain("S", 8)
+        u.attribute("x", d1)
+        with pytest.raises(JeddError):
+            u.attribute("x", d2)
+
+    def test_unknown_lookups(self):
+        u = Universe()
+        with pytest.raises(JeddError):
+            u.get_domain("nope")
+        with pytest.raises(JeddError):
+            u.get_attribute("nope")
+        with pytest.raises(JeddError):
+            u.get_physdom("nope")
+
+    def test_finalize_assigns_disjoint_levels(self):
+        u = Universe()
+        p = u.physical_domain("P", 3)
+        q = u.physical_domain("Q", 2)
+        u.finalize()
+        all_levels = p.levels + q.levels
+        assert sorted(all_levels) == list(range(5))
+        assert u.manager.num_vars == 5
+
+    def test_interleaved_ordering(self):
+        u = Universe(ordering="interleaved")
+        p = u.physical_domain("P", 2)
+        q = u.physical_domain("Q", 2)
+        u.finalize()
+        # MSBs of both domains first, then the next bits.
+        assert p.levels[1] == 0 and q.levels[1] == 1
+        assert p.levels[0] == 2 and q.levels[0] == 3
+
+    def test_sequential_ordering(self):
+        u = Universe(ordering="sequential")
+        p = u.physical_domain("P", 2)
+        q = u.physical_domain("Q", 2)
+        u.finalize()
+        assert sorted(p.levels) == [0, 1]
+        assert sorted(q.levels) == [2, 3]
+
+    def test_bad_ordering_and_backend(self):
+        with pytest.raises(JeddError):
+            Universe(ordering="mystery")
+        with pytest.raises(JeddError):
+            Universe(backend="add")
+
+    def test_double_finalize_rejected(self):
+        u = Universe()
+        u.physical_domain("P", 1)
+        u.finalize()
+        with pytest.raises(JeddError):
+            u.finalize()
+
+    def test_physdom_after_finalize_rejected(self):
+        u = Universe()
+        u.finalize()
+        with pytest.raises(JeddError):
+            u.physical_domain("P", 1)
+
+    def test_scratch_physdom(self):
+        u = Universe()
+        u.physical_domain("P", 2)
+        u.finalize()
+        s = u.scratch_physdom(3)
+        assert len(s.levels) == 3
+        assert u.manager.num_vars == 5
+        assert set(s.levels).isdisjoint(set(u.get_physdom("P").levels))
+
+    def test_scratch_before_finalize_rejected(self):
+        u = Universe()
+        with pytest.raises(JeddError):
+            u.scratch_physdom(1)
+
+    def test_encode_decode_roundtrip(self):
+        u = Universe()
+        p = u.physical_domain("P", 4)
+        u.finalize()
+        for value in (0, 1, 7, 15):
+            bits = u.encode_bits(p, value)
+            assert u.decode_bits(p, bits) == value
+
+    def test_encode_overflow(self):
+        u = Universe()
+        p = u.physical_domain("P", 2)
+        u.finalize()
+        with pytest.raises(JeddError):
+            u.encode_bits(p, 4)
+
+    def test_move_permutation_width_mismatch(self):
+        u = Universe()
+        p = u.physical_domain("P", 2)
+        q = u.physical_domain("Q", 3)
+        u.finalize()
+        with pytest.raises(JeddError):
+            u.move_permutation([(p, q)])
+
+    def test_move_permutation_levels(self):
+        u = Universe()
+        p = u.physical_domain("P", 2)
+        q = u.physical_domain("Q", 2)
+        u.finalize()
+        perm = u.move_permutation([(p, q)])
+        assert perm == {p.levels[0]: q.levels[0], p.levels[1]: q.levels[1]}

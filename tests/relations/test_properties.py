@@ -1,0 +1,163 @@
+"""Property-based tests: relations against a naive set-of-tuples model.
+
+Every relational operation is mirrored on plain Python sets; the two
+implementations must agree on both backends, for random relations.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relations import Relation, Universe
+
+OBJECTS = ["o0", "o1", "o2", "o3", "o4", "o5"]
+
+rows2 = st.sets(
+    st.tuples(st.sampled_from(OBJECTS), st.sampled_from(OBJECTS)), max_size=12
+)
+rows1 = st.sets(st.tuples(st.sampled_from(OBJECTS)), max_size=6)
+
+
+def make_universe(backend):
+    u = Universe(backend=backend)
+    d = u.domain("D", len(OBJECTS))
+    for obj in OBJECTS:
+        d.intern(obj)
+    for name in ("a", "b", "c", "d"):
+        u.attribute(name, d)
+    for pd in ("P1", "P2", "P3", "P4"):
+        u.physical_domain(pd, d.bits)
+    u.finalize()
+    return u
+
+
+BACKENDS = ["bdd", "zdd"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSetAlgebraProperties:
+    @given(xs=rows2, ys=rows2)
+    @settings(max_examples=60, deadline=None)
+    def test_set_ops(self, backend, xs, ys):
+        u = make_universe(backend)
+        x = Relation.from_tuples(u, ["a", "b"], xs, ["P1", "P2"])
+        y = Relation.from_tuples(u, ["a", "b"], ys, ["P1", "P2"])
+        assert set((x | y).tuples()) == xs | ys
+        assert set((x & y).tuples()) == xs & ys
+        assert set((x - y).tuples()) == xs - ys
+
+    @given(xs=rows2, ys=rows2)
+    @settings(max_examples=60, deadline=None)
+    def test_set_ops_cross_physdom(self, backend, xs, ys):
+        # Same semantics when the operands live in different domains.
+        u = make_universe(backend)
+        x = Relation.from_tuples(u, ["a", "b"], xs, ["P1", "P2"])
+        y = Relation.from_tuples(u, ["a", "b"], ys, ["P3", "P4"])
+        assert set((x | y).tuples()) == xs | ys
+        assert set((x & y).tuples()) == xs & ys
+        assert (x == y) == (xs == ys)
+
+    @given(xs=rows2)
+    @settings(max_examples=40, deadline=None)
+    def test_de_morgan_via_full(self, backend, xs):
+        u = make_universe(backend)
+        x = Relation.from_tuples(u, ["a", "b"], xs, ["P1", "P2"])
+        full = Relation.full(u, ["a", "b"], ["P1", "P2"])
+        complement = full - x
+        assert (x & complement).is_empty()
+        assert (x | complement) == full
+
+    @given(xs=rows2)
+    @settings(max_examples=40, deadline=None)
+    def test_projection_semantics(self, backend, xs):
+        u = make_universe(backend)
+        x = Relation.from_tuples(u, ["a", "b"], xs, ["P1", "P2"])
+        assert set(x.project_away("b").tuples()) == {(a,) for a, _ in xs}
+        assert set(x.project_away("a").tuples()) == {(b,) for _, b in xs}
+
+    @given(xs=rows2)
+    @settings(max_examples=40, deadline=None)
+    def test_rename_roundtrip(self, backend, xs):
+        u = make_universe(backend)
+        x = Relation.from_tuples(u, ["a", "b"], xs, ["P1", "P2"])
+        back = x.rename({"a": "c"}).rename({"c": "a"})
+        assert back == x
+        assert set(back.tuples()) == xs
+
+    @given(xs=rows1)
+    @settings(max_examples=40, deadline=None)
+    def test_copy_semantics(self, backend, xs):
+        u = make_universe(backend)
+        x = Relation.from_tuples(u, ["a"], xs, ["P1"])
+        copied = x.copy("a", ["a", "b"], ["P2"])
+        assert set(copied.tuples()) == {(a, a) for (a,) in xs}
+
+    @given(xs=rows2, ys=rows2)
+    @settings(max_examples=60, deadline=None)
+    def test_join_semantics(self, backend, xs, ys):
+        u = make_universe(backend)
+        x = Relation.from_tuples(u, ["a", "b"], xs, ["P1", "P2"])
+        y = Relation.from_tuples(u, ["c", "d"], ys, ["P3", "P4"])
+        j = x.join(y, ["b"], ["c"])
+        expected = {
+            (a, b, d) for a, b in xs for c, d in ys if b == c
+        }
+        assert set(j.tuples()) == expected
+
+    @given(xs=rows2, ys=rows2)
+    @settings(max_examples=60, deadline=None)
+    def test_compose_semantics(self, backend, xs, ys):
+        u = make_universe(backend)
+        x = Relation.from_tuples(u, ["a", "b"], xs, ["P1", "P2"])
+        y = Relation.from_tuples(u, ["c", "d"], ys, ["P3", "P4"])
+        c = x.compose(y, ["b"], ["c"])
+        expected = {
+            (a, d) for a, b in xs for cc, d in ys if b == cc
+        }
+        assert set(c.tuples()) == expected
+
+    @given(xs=rows2, ys=rows2)
+    @settings(max_examples=40, deadline=None)
+    def test_compose_is_join_then_project(self, backend, xs, ys):
+        u = make_universe(backend)
+        x = Relation.from_tuples(u, ["a", "b"], xs, ["P1", "P2"])
+        y = Relation.from_tuples(u, ["c", "d"], ys, ["P3", "P4"])
+        via_compose = x.compose(y, ["b"], ["c"])
+        via_join = x.join(y, ["b"], ["c"]).project_away("b")
+        assert via_compose == via_join
+
+    @given(xs=rows2)
+    @settings(max_examples=40, deadline=None)
+    def test_size_matches(self, backend, xs):
+        u = make_universe(backend)
+        x = Relation.from_tuples(u, ["a", "b"], xs, ["P1", "P2"])
+        assert x.size() == len(xs)
+        assert len(list(x.tuples())) == len(xs)
+
+    @given(xs=rows2)
+    @settings(max_examples=40, deadline=None)
+    def test_replace_preserves_tuples(self, backend, xs):
+        u = make_universe(backend)
+        x = Relation.from_tuples(u, ["a", "b"], xs, ["P1", "P2"])
+        moved = x.replace({"a": "P3", "b": "P4"})
+        assert set(moved.tuples()) == xs
+        swapped = x.replace({"a": "P2", "b": "P1"})
+        assert set(swapped.tuples()) == xs
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(xs=rows2, ys=rows2)
+@settings(max_examples=30, deadline=None)
+def test_backends_agree(backend, xs, ys):
+    """The same pipeline yields the same tuples on both backends."""
+    u = make_universe(backend)
+    x = Relation.from_tuples(u, ["a", "b"], xs, ["P1", "P2"])
+    y = Relation.from_tuples(u, ["b", "c"], ys, ["P3", "P4"])
+    result = (
+        x.join(y, ["b"], ["b"])
+        .project_away("b")
+        .rename({"c": "b"})
+        .union(x)
+    )
+    model = {(a, c) for a, b in xs for bb, c in ys if b == bb} | xs
+    assert set(result.tuples()) == model

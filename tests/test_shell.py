@@ -1,0 +1,173 @@
+"""Tests for the interactive relational shell."""
+
+import io
+
+import pytest
+
+from repro.shell import RelationalShell, run_script
+
+SETUP = [
+    "domain Type 64",
+    "attribute subtype : Type",
+    "attribute supertype : Type",
+    "attribute tgttype : Type",
+    "physdom T1 6",
+    "physdom T2 6",
+    "physdom T3 6",
+    "finalize",
+    "rel extend subtype:T1 supertype:T2",
+    "insert extend B A",
+    "insert extend C B",
+]
+
+
+def script(extra, backend_lines=None):
+    out = io.StringIO()
+    shell = run_script((backend_lines or []) + SETUP + extra, stdout=out)
+    return shell, out.getvalue()
+
+
+class TestDeclarations:
+    def test_setup_builds_universe(self):
+        shell, out = script([])
+        assert shell.universe is not None
+        assert "universe ready" in out
+
+    def test_insert_and_size(self):
+        shell, out = script(["size extend"])
+        assert out.strip().endswith("2")
+
+    def test_print_shows_tuples(self):
+        shell, out = script(["print extend"])
+        assert "B" in out and "A" in out and "subtype" in out
+
+    def test_list(self):
+        shell, out = script(["list"])
+        assert "extend" in out and "2 tuples" in out
+
+    def test_zdd_backend(self):
+        shell, out = script(["size extend"], ["backend zdd"])
+        assert shell.backend == "zdd"
+        assert out.strip().endswith("2")
+
+    def test_declaration_after_finalize_fails(self):
+        shell, out = script(["domain Late 4"])
+        assert "error" in out
+
+
+class TestExpressions:
+    def test_let_union(self):
+        shell, out = script(
+            [
+                "rel more subtype:T1 supertype:T2",
+                "insert more D A",
+                "let all = extend | more",
+                "size all",
+            ]
+        )
+        assert out.strip().endswith("3")
+
+    def test_compose_transitive_step(self):
+        # up2(sub, tgt) = extend(sub, mid) o extend(mid, tgt); the right
+        # operand is renamed via two chained casts.
+        shell, out = script(
+            [
+                "let up2 = extend{supertype} <> "
+                "((subtype=>supertype) (supertype=>tgttype) extend)"
+                "{supertype}",
+                "print up2",
+            ]
+        )
+        # C -> B -> A gives the two-step pair (C, A).
+        assert "C" in out and "A" in out
+
+    def test_join(self):
+        shell, out = script(
+            [
+                "let j = extend{supertype} >< "
+                "((subtype=>supertype) (supertype=>tgttype) extend)"
+                "{supertype}",
+                "size j",
+            ]
+        )
+        assert out.strip().endswith("1")
+
+    def test_project_and_rename(self):
+        shell, out = script(
+            [
+                "let subs = (supertype=>) extend",
+                "size subs",
+                "let renamed = (subtype=>tgttype) subs",
+                "size renamed",
+            ]
+        )
+        lines = [l for l in out.splitlines() if l.strip().isdigit()]
+        assert lines == ["2", "2"]
+
+    def test_copy(self):
+        shell, out = script(
+            [
+                "let copied = (subtype=>subtype tgttype) extend",
+                "size copied",
+            ]
+        )
+        assert out.strip().endswith("2")
+
+    def test_literal(self):
+        shell, out = script(
+            [
+                'let single = new { "X" => subtype }',
+                "size single",
+            ]
+        )
+        assert out.strip().endswith("1")
+
+    def test_nodes(self):
+        shell, out = script(["nodes extend"])
+        assert out.strip().split()[-1].isdigit()
+
+
+class TestErrors:
+    def test_unknown_relation(self):
+        shell, out = script(["print nosuch"])
+        assert "error" in out
+
+    def test_parse_error_is_reported(self):
+        shell, out = script(["let x = extend ||| extend"])
+        assert "error" in out
+
+    def test_schema_mismatch_reported(self):
+        shell, out = script(
+            [
+                "rel singles subtype:T1",
+                "let bad = extend | singles",
+            ]
+        )
+        assert "error" in out
+
+    def test_insert_arity_mismatch(self):
+        shell, out = script(["insert extend onlyone"])
+        assert "error" in out
+
+    def test_bad_command_usage(self):
+        shell, out = script(["domain OnlyName"])
+        assert "error" in out
+
+    def test_constants_need_context(self):
+        shell, out = script(["let x = 0B"])
+        assert "error" in out
+
+    def test_shell_survives_errors(self):
+        shell, out = script(["print nosuch", "size extend"])
+        assert out.strip().endswith("2")
+
+
+class TestQuitting:
+    def test_quit_stops_script(self):
+        out = io.StringIO()
+        shell = run_script(["quit", "domain D 4"], stdout=out)
+        assert shell._pending._domains == {}
+
+    def test_comments_and_blanks_skipped(self):
+        out = io.StringIO()
+        run_script(["# a comment", "", "   "], stdout=out)
