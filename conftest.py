@@ -1,0 +1,35 @@
+"""Repository-wide pytest configuration.
+
+Registers the ``reorder_stress`` marker: heavy randomized suites
+(long differential chains, deep swap/integrity fuzzing) that CI runs
+in a dedicated seeded job.  They are skipped unless pytest is invoked
+with ``--reorder-stress``.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--reorder-stress",
+        action="store_true",
+        default=False,
+        help="run the heavy randomized reordering stress suites",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "reorder_stress: heavy randomized reordering stress tests "
+        "(enabled with --reorder-stress)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--reorder-stress"):
+        return
+    skip = pytest.mark.skip(reason="needs --reorder-stress")
+    for item in items:
+        if "reorder_stress" in item.keywords:
+            item.add_marker(skip)

@@ -10,6 +10,19 @@ Run:  python examples/relational_shell_session.py
       python -m repro.shell          # the same thing, interactively
 """
 
+# Self-locating bootstrap: let `python examples/<name>.py` work from a
+# plain checkout, without installing the package or setting PYTHONPATH.
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - only taken outside the test env
+    import os as _os
+    import sys as _sys
+
+    _sys.path.insert(
+        0,
+        _os.path.join(_os.path.dirname(_os.path.abspath(__file__)), "..", "src"),
+    )
+
 from repro.shell import run_script
 
 SESSION = [

@@ -12,6 +12,19 @@ The expected answer (Figures 4(c) and 4(g) combined) is::
 Run:  python examples/virtual_call_resolution.py
 """
 
+# Self-locating bootstrap: let `python examples/<name>.py` work from a
+# plain checkout, without installing the package or setting PYTHONPATH.
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - only taken outside the test env
+    import os as _os
+    import sys as _sys
+
+    _sys.path.insert(
+        0,
+        _os.path.join(_os.path.dirname(_os.path.abspath(__file__)), "..", "src"),
+    )
+
 from repro.jedd import compile_source, generate
 
 FIGURE4 = """

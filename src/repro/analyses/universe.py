@@ -29,6 +29,8 @@ class AnalysisUniverse:
         facts: ProgramFacts,
         backend: str = "bdd",
         ordering: str = "interleaved",
+        reorder: bool = False,
+        reorder_threshold: int = 1 << 14,
     ) -> None:
         self.facts = facts
         u = Universe(backend=backend, ordering=ordering)
@@ -95,6 +97,12 @@ class AnalysisUniverse:
             ["C1"],
         ])
         u.finalize()
+        if reorder:
+            # Dynamic sifting on node-table growth, with each physical
+            # domain's bits moving as a block so the hand-tuned bit
+            # order above stays coherent.  Raises UnsupportedByBackend
+            # on the ZDD backend.
+            u.enable_reorder(threshold=reorder_threshold)
 
         # Pre-intern all objects so attribute copying (which needs the
         # interned value list) covers the full program.

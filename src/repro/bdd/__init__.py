@@ -8,7 +8,7 @@ on either without modification.
 """
 
 from repro.bdd.fdd import FDDManager, FiniteDomain
-from repro.bdd.manager import FALSE, TRUE, BDDError, BDDManager
+from repro.bdd.manager import FALSE, TRUE, BDDError, BDDManager, ReorderEvent
 from repro.bdd.zdd import ZDDManager
 
 __all__ = [
@@ -17,6 +17,7 @@ __all__ = [
     "FALSE",
     "FDDManager",
     "FiniteDomain",
+    "ReorderEvent",
     "TRUE",
     "ZDDManager",
 ]

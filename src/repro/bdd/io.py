@@ -45,8 +45,16 @@ def dumps_diagram(manager, root: int) -> str:
     lines = [f"{tag} {manager.num_vars} {len(order)} "]
     for i, node in enumerate(order, start=2):
         local[node] = i
+        # BDD nodes are written by stable *variable id* so a file saved
+        # under one variable order loads correctly under any other; the
+        # ZDD manager never reorders, so its levels are its variables.
+        var = (
+            manager.var_of(node)
+            if tag == "bdd"
+            else manager._level[node]
+        )
         lines.append(
-            f"{i} {manager._level[node]} "
+            f"{i} {var} "
             f"{local[manager._low[node]]} {local[manager._high[node]]}"
         )
     lines[0] += str(local.get(root, root))
@@ -80,14 +88,22 @@ def loads_diagram(manager, text: str) -> int:
             f"{manager.num_vars}"
         )
     local: Dict[int, int] = {0: 0, 1: 1}
+    is_bdd = expected == "bdd"
     for line in lines[1 : num_nodes + 1]:
         parts = line.split()
         if len(parts) != 4:
             raise BDDError(f"bad diagram line: {line!r}")
-        node_id, level, low, high = (int(p) for p in parts)
+        node_id, var, low, high = (int(p) for p in parts)
         if low not in local or high not in local:
             raise BDDError(f"diagram line references unknown node: {line!r}")
-        local[node_id] = manager.mk(level, local[low], local[high])
+        if is_bdd:
+            # Rebuild through ITE on the *variable*: correct whatever
+            # level that variable currently occupies in the manager.
+            local[node_id] = manager.ite(
+                manager.var(var), local[high], local[low]
+            )
+        else:
+            local[node_id] = manager.mk(var, local[low], local[high])
     if root_id not in local:
         raise BDDError(f"unknown diagram root {root_id}")
     return local[root_id]

@@ -1,12 +1,13 @@
 """The Jedd profiler (section 4.3): recording, SQL storage, HTML views."""
 
 from repro.profiler.html import generate_report
-from repro.profiler.recorder import ProfileEvent, Profiler
+from repro.profiler.recorder import ProfileEvent, Profiler, ReorderEvent
 from repro.profiler.sql import load_executions, load_shape, load_summary, save_events
 
 __all__ = [
     "ProfileEvent",
     "Profiler",
+    "ReorderEvent",
     "generate_report",
     "load_executions",
     "load_shape",

@@ -16,9 +16,10 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
+from repro.bdd.manager import ReorderEvent
 from repro.relations.relation import Relation
 
-__all__ = ["ProfileEvent", "Profiler"]
+__all__ = ["ProfileEvent", "Profiler", "ReorderEvent"]
 
 #: The relational operations the profiler wraps.
 _INSTRUMENTED = [
@@ -70,9 +71,12 @@ class Profiler:
     def __init__(self, record_shapes: bool = True) -> None:
         self.record_shapes = record_shapes
         self.events: List[ProfileEvent] = []
+        #: Dynamic-reordering passes observed via :meth:`observe_manager`.
+        self.reorder_events: List[ReorderEvent] = []
         self._saved: Dict[str, object] = {}
         self._installed = False
         self._site_stack: List[str] = []
+        self._observed_managers: List[object] = []
 
     # -- program point attribution ----------------------------------------
 
@@ -119,7 +123,13 @@ class Profiler:
         return self
 
     def uninstall(self) -> None:
-        """Restore the original methods."""
+        """Restore the original methods and detach reorder listeners."""
+        for manager in self._observed_managers:
+            try:
+                manager.reorder_listeners.remove(self._on_reorder)
+            except ValueError:
+                pass
+        self._observed_managers.clear()
         if not self._installed:
             return
         for name, original in self._saved.items():
@@ -127,6 +137,27 @@ class Profiler:
         self._saved.clear()
         Relation.profiler = None
         self._installed = False
+
+    # -- dynamic reordering ------------------------------------------------
+
+    def _on_reorder(self, event: ReorderEvent) -> None:
+        self.reorder_events.append(event)
+
+    def observe_manager(self, manager) -> "Profiler":
+        """Record the manager's reordering passes as
+        :class:`ReorderEvent` entries (trigger, duration, node counts,
+        resulting order).  The listener is removed by
+        :meth:`uninstall`."""
+        if not hasattr(manager, "reorder_listeners"):
+            return self  # e.g. the ZDD manager: nothing to observe
+        if manager not in self._observed_managers:
+            manager.reorder_listeners.append(self._on_reorder)
+            self._observed_managers.append(manager)
+        return self
+
+    def observe_universe(self, universe) -> "Profiler":
+        """Convenience: observe a relational universe's manager."""
+        return self.observe_manager(universe.manager)
 
     def __enter__(self) -> "Profiler":
         return self.install()

@@ -6,7 +6,13 @@ data type with its full operation set, pluggable BDD/ZDD backends, and
 reference-count-managing containers.
 """
 
-from repro.relations.backend import BDDBackend, DiagramBackend, ZDDBackend, make_backend
+from repro.relations.backend import (
+    BDDBackend,
+    DiagramBackend,
+    UnsupportedByBackend,
+    ZDDBackend,
+    make_backend,
+)
 from repro.relations.containers import RelationContainer
 from repro.relations.domain import Attribute, Domain, JeddError, PhysicalDomain, Universe
 from repro.relations.io import load_checkpoint, load_tsv, save_checkpoint, save_tsv
@@ -23,6 +29,7 @@ __all__ = [
     "RelationContainer",
     "Schema",
     "Universe",
+    "UnsupportedByBackend",
     "ZDDBackend",
     "load_checkpoint",
     "load_tsv",

@@ -19,7 +19,30 @@ from typing import Dict, Iterable, Iterator, List, Sequence
 from repro.bdd import FALSE, TRUE, BDDManager, ZDDManager
 from repro.bdd.zdd import BASE, EMPTY
 
-__all__ = ["DiagramBackend", "BDDBackend", "ZDDBackend", "make_backend"]
+__all__ = [
+    "DiagramBackend",
+    "BDDBackend",
+    "ZDDBackend",
+    "UnsupportedByBackend",
+    "make_backend",
+]
+
+
+class UnsupportedByBackend(Exception):
+    """An optional capability (e.g. dynamic reordering) the selected
+    diagram engine does not provide.  Mirrors how Jedd surfaces the
+    feature gaps between BuDDy, CUDD, and the ZDD backend."""
+
+
+class _NullReorderGuard:
+    """No-op stand-in for ``disable_reorder()`` on backends without
+    dynamic reordering, so hot-loop guards stay backend-portable."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return None
 
 
 class DiagramBackend:
@@ -121,6 +144,35 @@ class DiagramBackend:
     def maybe_gc(self) -> bool:
         return self.manager.maybe_gc()
 
+    # Dynamic variable reordering (optional capability) -------------------
+    def supports_reorder(self) -> bool:
+        """Whether this backend can reorder variables at run time."""
+        return False
+
+    def reorder(self, groups=None, max_growth=None):
+        """Run one reordering pass now; returns a ``ReorderEvent``."""
+        raise UnsupportedByBackend(
+            f"the {self.name} backend does not support dynamic "
+            f"variable reordering"
+        )
+
+    def enable_reorder(
+        self, threshold=None, max_growth=None, groups=None
+    ) -> None:
+        """Enable automatic reordering on node-table growth."""
+        raise UnsupportedByBackend(
+            f"the {self.name} backend does not support dynamic "
+            f"variable reordering"
+        )
+
+    def disable_reorder(self):
+        """Context manager suppressing automatic reordering.
+
+        A no-op on backends without reordering, so relation code can
+        guard hot loops without checking :meth:`supports_reorder`.
+        """
+        return _NullReorderGuard()
+
 
 class BDDBackend(DiagramBackend):
     """Adapter over :class:`repro.bdd.BDDManager` (the BuDDy/CUDD role)."""
@@ -181,6 +233,22 @@ class BDDBackend(DiagramBackend):
 
     def all_sat(self, a, levels):
         return self.manager.all_sat(a, levels)
+
+    def supports_reorder(self) -> bool:
+        return True
+
+    def reorder(self, groups=None, max_growth=None):
+        return self.manager.reorder(groups=groups, max_growth=max_growth)
+
+    def enable_reorder(
+        self, threshold=None, max_growth=None, groups=None
+    ) -> None:
+        self.manager.enable_reorder(
+            threshold=threshold, max_growth=max_growth, groups=groups
+        )
+
+    def disable_reorder(self):
+        return self.manager.disable_reorder()
 
 
 class ZDDBackend(DiagramBackend):

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.bdd import BDDManager, ZDDManager
+from repro.relations.backend import make_backend
 
 __all__ = ["Domain", "Attribute", "PhysicalDomain", "Universe", "JeddError"]
 
@@ -338,6 +339,68 @@ class Universe:
         self._physdoms[name] = pd
         self._physdom_order.append(pd)
         return pd
+
+    # ------------------------------------------------------------------
+    # Dynamic variable reordering
+    # ------------------------------------------------------------------
+
+    def physdom_groups(self) -> List[List[int]]:
+        """The bit positions of each physical domain, as sift groups.
+
+        The SAT-driven domain assignment (section 3.3) decides *which*
+        physical domain stores each attribute; keeping a domain's bits
+        together while reordering preserves that structure, so these are
+        the default blocks for group sifting.  Includes scratch domains.
+        """
+        if not self.finalized:
+            raise JeddError("finalize() before reordering")
+        return [
+            list(pd.levels)
+            for pd in self._physdom_order
+            if pd.levels is not None
+        ]
+
+    def enable_reorder(
+        self,
+        threshold: Optional[int] = None,
+        max_growth: Optional[float] = None,
+        group_by_physdom: bool = True,
+    ) -> None:
+        """Enable automatic sifting when the node table grows.
+
+        With ``group_by_physdom`` (the default) the bits of one physical
+        domain move as a block, so the user-specified relative bit
+        ordering within each domain survives; pass False to let every
+        bit sift independently (can find better orders, but decouples
+        bits the encodings correlate).  Raises
+        :class:`~repro.relations.backend.UnsupportedByBackend` on the
+        ZDD backend.
+        """
+        if not self.finalized:
+            raise JeddError("finalize() before enabling reordering")
+        make_backend(self.manager).enable_reorder(
+            threshold=threshold, max_growth=max_growth
+        )
+        # Set (or clear) the group policy explicitly so toggling
+        # group_by_physdom across calls behaves as written.
+        self.manager.reorder_groups = (
+            self.physdom_groups if group_by_physdom else None
+        )
+
+    def disable_reorder(self):
+        """Context manager suppressing automatic reordering (no-op on
+        backends without reordering)."""
+        if not self.finalized:
+            raise JeddError("finalize() before disabling reordering")
+        return make_backend(self.manager).disable_reorder()
+
+    def reorder(self, groups=None, max_growth: Optional[float] = None):
+        """Run one reordering pass now; returns the ``ReorderEvent``."""
+        if not self.finalized:
+            raise JeddError("finalize() before reordering")
+        return make_backend(self.manager).reorder(
+            groups=groups, max_growth=max_growth
+        )
 
     # ------------------------------------------------------------------
     # Encoding helpers

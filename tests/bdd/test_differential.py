@@ -1,0 +1,324 @@
+"""Randomized differential testing: BDD vs ZDD vs a frozenset oracle.
+
+Each *chain* builds the same random relational program three ways --
+on the BDD backend, on the ZDD backend, and against a plain-Python
+oracle that stores relations as sets of ``{attribute: value}`` rows --
+and asserts the three agree on the exact tuple set after every
+operation.  The suite runs each chain twice, with automatic variable
+reordering off and on, so sifting is proven semantics-preserving under
+real operation mixes (not just on static diagrams).
+
+Chains are seeded by index: failures reproduce by seed, and CI runs
+are deterministic.
+"""
+
+import random
+
+import pytest
+
+from repro.relations import Relation, Universe
+
+ATTRS = ["a", "b", "c", "d", "e", "f"]
+PHYSDOMS = ["P1", "P2", "P3", "P4", "P5", "P6"]
+DOMAIN_SIZE = 8
+
+#: chains per (backend-comparison, reorder-mode); the tier-1 run does
+#: 2 x 500 = 1000 randomized chains, the stress job adds longer ones.
+N_CHAINS = 500
+N_CHAINS_STRESS = 250
+OPS_PER_CHAIN = 6
+OPS_PER_CHAIN_STRESS = 14
+
+
+def build_universe(backend):
+    u = Universe(backend=backend, ordering="sequential")
+    dom = u.domain("D", DOMAIN_SIZE)
+    for name in ATTRS:
+        u.attribute(name, dom)
+    for name in PHYSDOMS:
+        u.physical_domain(name, dom.bits)
+    u.finalize()
+    for v in range(DOMAIN_SIZE):
+        dom.intern(v)
+    return u
+
+
+class Oracle:
+    """A relation as a set of attribute->value rows."""
+
+    def __init__(self, attrs, rows):
+        self.attrs = frozenset(attrs)
+        self.rows = {frozenset(r.items()) for r in rows}
+
+    @classmethod
+    def from_tuples(cls, attrs, tuples_):
+        return cls(
+            attrs, [dict(zip(attrs, row)) for row in tuples_]
+        )
+
+    def _binop(self, other, fn):
+        assert self.attrs == other.attrs
+        return Oracle(self.attrs, [dict(r) for r in fn(self.rows, other.rows)])
+
+    def union(self, other):
+        return self._binop(other, lambda a, b: a | b)
+
+    def intersect(self, other):
+        return self._binop(other, lambda a, b: a & b)
+
+    def difference(self, other):
+        return self._binop(other, lambda a, b: a - b)
+
+    def project_away(self, *names):
+        keep = self.attrs - set(names)
+        return Oracle(
+            keep,
+            [{k: v for k, v in dict(r).items() if k in keep}
+             for r in self.rows],
+        )
+
+    def rename(self, mapping):
+        return Oracle(
+            frozenset(mapping.get(a, a) for a in self.attrs),
+            [
+                {mapping.get(k, k): v for k, v in dict(r).items()}
+                for r in self.rows
+            ],
+        )
+
+    def join(self, other, self_attr, other_attr):
+        out = []
+        for r1 in self.rows:
+            d1 = dict(r1)
+            for r2 in other.rows:
+                d2 = dict(r2)
+                if d1[self_attr] == d2[other_attr]:
+                    merged = dict(d1)
+                    merged.update(
+                        {k: v for k, v in d2.items() if k != other_attr}
+                    )
+                    out.append(merged)
+        attrs = self.attrs | (other.attrs - {other_attr})
+        return Oracle(attrs, out)
+
+    def compose(self, other, self_attr, other_attr):
+        out = []
+        for r1 in self.rows:
+            d1 = dict(r1)
+            for r2 in other.rows:
+                d2 = dict(r2)
+                if d1[self_attr] == d2[other_attr]:
+                    merged = {
+                        k: v for k, v in d1.items() if k != self_attr
+                    }
+                    merged.update(
+                        {k: v for k, v in d2.items() if k != other_attr}
+                    )
+                    out.append(merged)
+        attrs = (self.attrs - {self_attr}) | (other.attrs - {other_attr})
+        return Oracle(attrs, out)
+
+    def select(self, values):
+        return Oracle(
+            self.attrs,
+            [
+                dict(r)
+                for r in self.rows
+                if all(dict(r).get(k) == v for k, v in values.items())
+            ],
+        )
+
+    def tuple_set(self, names):
+        return {
+            tuple(dict(r)[n] for n in names) for r in self.rows
+        }
+
+
+class Triple:
+    """The same relation on both engines plus the oracle."""
+
+    def __init__(self, bdd, zdd, oracle):
+        self.bdd = bdd
+        self.zdd = zdd
+        self.oracle = oracle
+
+    def check(self):
+        names = self.bdd.schema.names()
+        expected = self.oracle.tuple_set(names)
+        got_bdd = set(self.bdd.tuples())
+        assert got_bdd == expected, (
+            f"BDD backend diverged from oracle over {names}: "
+            f"extra={got_bdd - expected}, missing={expected - got_bdd}"
+        )
+        znames = self.zdd.schema.names()
+        got_zdd = {
+            tuple(row[znames.index(n)] for n in names)
+            for row in self.zdd.tuples()
+        }
+        assert got_zdd == expected, (
+            f"ZDD backend diverged from oracle over {names}: "
+            f"extra={got_zdd - expected}, missing={expected - got_zdd}"
+        )
+        assert self.bdd.size() == len(expected)
+        assert self.zdd.size() == len(expected)
+
+
+def random_base(rng, u_bdd, u_zdd):
+    n_attrs = rng.randrange(1, 3)
+    attrs = rng.sample(ATTRS, n_attrs)
+    pds = rng.sample(PHYSDOMS, n_attrs)
+    n_rows = rng.randrange(0, 10)
+    rows = [
+        tuple(rng.randrange(DOMAIN_SIZE) for _ in attrs)
+        for _ in range(n_rows)
+    ]
+    return Triple(
+        Relation.from_tuples(u_bdd, attrs, rows, pds),
+        Relation.from_tuples(u_zdd, attrs, rows, pds),
+        Oracle.from_tuples(attrs, rows),
+    )
+
+
+def apply_random_op(rng, pool, u_bdd, u_zdd):
+    """Apply one random operation; returns a new Triple or None."""
+    ops = ["base", "union", "intersect", "difference", "project",
+           "rename", "join", "compose", "select", "replace"]
+    op = rng.choice(ops)
+    if op == "base" or not pool:
+        return random_base(rng, u_bdd, u_zdd)
+    t1 = rng.choice(pool)
+    if op in ("union", "intersect", "difference"):
+        same = [t for t in pool if t.oracle.attrs == t1.oracle.attrs]
+        t2 = rng.choice(same)
+        return Triple(
+            getattr(t1.bdd, op)(t2.bdd),
+            getattr(t1.zdd, op)(t2.zdd),
+            getattr(t1.oracle, op)(t2.oracle),
+        )
+    if op == "project":
+        if len(t1.oracle.attrs) < 2:
+            return None
+        name = rng.choice(sorted(t1.oracle.attrs))
+        return Triple(
+            t1.bdd.project_away(name),
+            t1.zdd.project_away(name),
+            t1.oracle.project_away(name),
+        )
+    if op == "rename":
+        unused = sorted(set(ATTRS) - t1.oracle.attrs)
+        if not unused:
+            return None
+        old = rng.choice(sorted(t1.oracle.attrs))
+        new = rng.choice(unused)
+        return Triple(
+            t1.bdd.rename({old: new}),
+            t1.zdd.rename({old: new}),
+            t1.oracle.rename({old: new}),
+        )
+    if op in ("join", "compose"):
+        t2 = rng.choice(pool)
+        a1, a2 = t1.oracle.attrs, t2.oracle.attrs
+        if op == "compose" and (len(a1) < 2 or len(a2) < 2):
+            return None
+        x = rng.choice(sorted(a1))
+        y = rng.choice(sorted(a2))
+        if op == "join":
+            if a1 & (a2 - {y}):
+                return None
+        else:
+            if (a1 - {x}) & (a2 - {y}):
+                return None
+        result_size = (
+            len(a1 | (a2 - {y}))
+            if op == "join"
+            else len((a1 - {x}) | (a2 - {y}))
+        )
+        if result_size > 3 or result_size == 0:
+            return None
+        if op == "join":
+            return Triple(
+                t1.bdd.join(t2.bdd, [x], [y]),
+                t1.zdd.join(t2.zdd, [x], [y]),
+                t1.oracle.join(t2.oracle, x, y),
+            )
+        return Triple(
+            t1.bdd.compose(t2.bdd, [x], [y]),
+            t1.zdd.compose(t2.zdd, [x], [y]),
+            t1.oracle.compose(t2.oracle, x, y),
+        )
+    if op == "select":
+        name = rng.choice(sorted(t1.oracle.attrs))
+        values = {name: rng.randrange(DOMAIN_SIZE)}
+        return Triple(
+            t1.bdd.select(values),
+            t1.zdd.select(values),
+            t1.oracle.select(values),
+        )
+    if op == "replace":
+        # Semantically the identity: move one attribute to a free pd.
+        name = rng.choice(sorted(t1.oracle.attrs))
+        used = {pd.name for _, pd in t1.bdd.schema.pairs}
+        free = sorted(set(PHYSDOMS) - used)
+        if not free:
+            return None
+        target = rng.choice(free)
+        return Triple(
+            t1.bdd.replace({name: target}),
+            t1.zdd.replace({name: target}),
+            t1.oracle,
+        )
+    raise AssertionError(op)
+
+
+def run_chain(seed, reorder, n_ops):
+    rng = random.Random(seed)
+    u_bdd = build_universe("bdd")
+    u_zdd = build_universe("zdd")
+    if reorder:
+        # Tiny threshold so sifting actually fires mid-chain, with both
+        # grouping policies exercised across seeds.
+        u_bdd.enable_reorder(
+            threshold=rng.choice([20, 60]),
+            group_by_physdom=bool(seed % 2),
+        )
+    pool = [random_base(rng, u_bdd, u_zdd)]
+    pool[0].check()
+    for _ in range(n_ops):
+        result = apply_random_op(rng, pool, u_bdd, u_zdd)
+        if result is None:
+            continue
+        result.check()
+        pool.append(result)
+        if len(pool) > 6:
+            pool.pop(0)
+        if reorder and rng.random() < 0.1:
+            # Manual pass at an operation boundary, then re-check every
+            # live relation's tuples survived it.
+            u_bdd.reorder()
+            for t in pool:
+                t.check()
+    if reorder:
+        u_bdd.manager.check_integrity()
+
+
+# Ten batches per mode keep single-test runtimes small while totalling
+# N_CHAINS chains per mode (the acceptance floor is 1000 overall).
+BATCHES = 10
+
+
+@pytest.mark.parametrize("reorder", [False, True], ids=["plain", "reorder"])
+@pytest.mark.parametrize("batch", range(BATCHES))
+def test_differential_chains(reorder, batch):
+    per_batch = N_CHAINS // BATCHES
+    base = batch * per_batch
+    for i in range(per_batch):
+        seed = 90_000 + base + i if reorder else base + i
+        run_chain(seed, reorder, OPS_PER_CHAIN)
+
+
+@pytest.mark.reorder_stress
+@pytest.mark.parametrize("reorder", [False, True], ids=["plain", "reorder"])
+def test_differential_chains_stress(reorder):
+    for i in range(N_CHAINS_STRESS):
+        seed = 500_000 + i if reorder else 400_000 + i
+        run_chain(seed, reorder, OPS_PER_CHAIN_STRESS)

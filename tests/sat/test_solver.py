@@ -301,3 +301,62 @@ def test_agrees_with_brute_force_under_tiny_db(clauses):
     res = solver.solve()
     brute = brute_force_solve(cnf)
     assert res.satisfiable == (brute is not None)
+
+
+class TestRandomFuzz:
+    """Seeded fuzz sweep: ~200 random small CNFs against the oracle.
+
+    Complements the hypothesis properties above with a fixed, wider
+    sweep over formula shapes (varying variable count, clause count,
+    and clause width), checking the full result contract each time:
+    SAT answers carry a genuine model, UNSAT answers carry a core that
+    is itself unsatisfiable.
+    """
+
+    N_FORMULAS = 200
+
+    @staticmethod
+    def _random_cnf(rng):
+        num_vars = rng.randrange(1, 9)
+        num_clauses = rng.randrange(1, 21)
+        cnf = CNF(num_vars)
+        for _ in range(num_clauses):
+            width = rng.randrange(1, 4)
+            lits = [
+                rng.choice([1, -1]) * rng.randrange(1, num_vars + 1)
+                for _ in range(width)
+            ]
+            cnf.add_clause(lits)
+        return cnf
+
+    def test_solver_matches_brute_force(self):
+        import random
+
+        rng = random.Random(20260805)
+        sat = unsat = 0
+        for _ in range(self.N_FORMULAS):
+            cnf = self._random_cnf(rng)
+            res = solve(cnf)
+            brute = brute_force_solve(cnf)
+            assert res.satisfiable == (brute is not None), cnf.to_dimacs()
+            if res.satisfiable:
+                sat += 1
+                # the reported model is total and satisfies the formula
+                assert set(res.model) == set(range(1, cnf.num_vars + 1))
+                assert cnf.evaluate(
+                    [res.model[v] for v in range(1, cnf.num_vars + 1)]
+                ), cnf.to_dimacs()
+            else:
+                unsat += 1
+                # the reported core is a subset of the input clauses and
+                # is unsatisfiable on its own
+                assert res.core, cnf.to_dimacs()
+                assert all(
+                    0 <= idx < len(cnf.clauses) for idx in res.core
+                )
+                sub = CNF(cnf.num_vars)
+                for idx in res.core:
+                    sub.add_clause(cnf.clauses[idx])
+                assert brute_force_solve(sub) is None, cnf.to_dimacs()
+        # the sweep must actually exercise both outcomes
+        assert sat >= 20 and unsat >= 20

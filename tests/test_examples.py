@@ -7,15 +7,22 @@ import sys
 import pytest
 
 EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+SRC = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src"))
 
 
 def run_example(name, *args, timeout=240, cwd=None):
+    # Put src on PYTHONPATH as an *absolute* path: the inherited value
+    # may be relative (e.g. "src"), which breaks when cwd is elsewhere.
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
     return subprocess.run(
         [sys.executable, os.path.join(EXAMPLES, name), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
         cwd=cwd,
+        env=env,
     )
 
 
