@@ -83,6 +83,61 @@ def test_table2_all_rows():
     assert jedd_times["jedit"] > jedd_times["javac-s"]
 
 
+def test_telemetry_disabled_overhead():
+    """The telemetry layer's cost while disabled must be negligible.
+
+    The relational operations are permanently wrapped by the ``traced``
+    decorator; while telemetry is off each call pays one module-global
+    read plus one attribute test.  Compare the points-to solve through
+    the wrappers (telemetry disabled) against the same solve with the
+    pristine originals (reachable as ``__wrapped__``) temporarily
+    restored: the wrapped run must stay within 5% (plus scheduling
+    slack) of the unwrapped one.
+    """
+    from repro import telemetry
+    from repro.relations.relation import Relation
+
+    telemetry.disable()
+    facts = preset("compress")
+
+    def run():
+        au = AnalysisUniverse(facts)
+        solver = PointsTo(au)
+        solver.solve()
+        return solver
+
+    wrapped = {
+        name: getattr(Relation, name)
+        for name in ("union", "intersect", "difference", "project_away",
+                     "rename", "copy", "join", "compose", "replace")
+    }
+    assert all(hasattr(fn, "__wrapped__") for fn in wrapped.values())
+
+    t_wrapped = _time(run, repeats=5)
+    try:
+        for name, fn in wrapped.items():
+            setattr(Relation, name, fn.__wrapped__)
+        t_bare = _time(run, repeats=5)
+    finally:
+        for name, fn in wrapped.items():
+            setattr(Relation, name, fn)
+
+    overhead = 100.0 * (t_wrapped - t_bare) / t_bare
+    print(f"\ntelemetry disabled: bare {t_bare:.4f}s, "
+          f"wrapped {t_wrapped:.4f}s ({overhead:+.1f}%)")
+    assert t_wrapped < 1.05 * t_bare + 0.05
+
+    # For the record: the cost of full tracing (spans + kernel wiring).
+    session = telemetry.enable()
+    session.instrument_universe(AnalysisUniverse(facts).universe)
+    try:
+        t_enabled = _time(run, repeats=3)
+    finally:
+        telemetry.disable()
+    print(f"telemetry enabled:  {t_enabled:.4f}s "
+          f"({100.0 * (t_enabled - t_bare) / t_bare:+.1f}% vs bare)")
+
+
 @pytest.mark.parametrize("name", ["javac-s", "javac", "jedit"])
 def test_lowlevel_benchmark(benchmark, name):
     """pytest-benchmark series for the hand-coded baseline."""

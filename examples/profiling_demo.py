@@ -9,6 +9,12 @@ BDD shape figures -- into ``./profile_report/``.
 
 Run:  python examples/profiling_demo.py
 Then open ./profile_report/index.html in any browser.
+
+With ``--trace [FILE]`` the profiler additionally attaches a telemetry
+session (:meth:`Profiler.attach_telemetry`): kernel spans land in the
+database's ``spans`` table so the HTML report gains the per-site kernel
+breakdown page (``sites.html``), and the span tree is written as Chrome
+trace-event JSON (default ``./profile_report/trace.json``).
 """
 
 # Self-locating bootstrap: let `python examples/<name>.py` work from a
@@ -25,18 +31,35 @@ except ImportError:  # pragma: no cover - only taken outside the test env
     )
 
 import os
+import sys
 
 from repro.analyses import AnalysisUniverse, PointsTo, preset
-from repro.profiler import Profiler, generate_report, save_events
+from repro.profiler import Profiler, generate_report, save_events, save_spans
 
 
 def main() -> None:
+    argv = sys.argv[1:]
+    trace_path = None
+    if "--trace" in argv:
+        i = argv.index("--trace")
+        rest = argv[i + 1: i + 2]
+        trace_path = (
+            rest[0]
+            if rest and not rest[0].startswith("-")
+            else os.path.join(os.getcwd(), "profile_report", "trace.json")
+        )
+
     facts = preset("compress")
     au = AnalysisUniverse(facts)
 
     with Profiler(record_shapes=True) as prof:
-        solver = PointsTo(au)
-        pt = solver.solve()
+        session = None
+        if trace_path is not None:
+            session = prof.attach_telemetry()
+        prof.observe_universe(au.universe)
+        with prof.site("points-to"):
+            solver = PointsTo(au)
+            pt = solver.solve()
 
     print(f"points-to solved: {pt.size()} pairs, "
           f"{solver.iterations} iterations, "
@@ -68,8 +91,22 @@ def main() -> None:
     if os.path.exists(db):
         os.remove(db)
     save_events(db, prof.events)
+    if session is not None:
+        os.makedirs(os.path.dirname(trace_path) or ".", exist_ok=True)
+        count = session.write_chrome_trace(
+            trace_path, process_name="profiling-demo"
+        )
+        n_spans = save_spans(db, session.tracer.spans)
+        print(f"\nwrote {count} trace events to {trace_path} "
+              f"and {n_spans} spans into the profile database")
+        from repro import telemetry
+
+        telemetry.disable()
     index = generate_report(db, out)
-    print(f"\nbrowsable report written to {index}")
+    print(f"browsable report written to {index}")
+    if session is not None:
+        print(f"per-site kernel breakdown: "
+              f"{os.path.join(out, 'sites.html')}")
 
 
 if __name__ == "__main__":

@@ -11,6 +11,15 @@ and cross-checks every result against a naive set-based oracle.
 
 Run:  python examples/whole_program_analysis.py [preset]
       (preset one of: javac-s compress javac sablecc jedit)
+
+With ``--trace FILE`` the run executes under the telemetry layer: every
+phase becomes a span, kernel metrics (apply-cache hit rates, GC pauses,
+SAT statistics from the Jedd domain assignment) are printed at the end,
+and a Chrome trace-event JSON file is written (open in chrome://tracing
+or https://ui.perfetto.dev).  The traced run additionally executes the
+points-to analysis a second time *as Jedd source* through the
+interpreter, so the trace shows the full nesting: interpreter statement
+-> relational operation -> BDD kernel call.
 """
 
 # Self-locating bootstrap: let `python examples/<name>.py` work from a
@@ -43,24 +52,105 @@ from repro.analyses import (
 )
 
 
+def _phase(session, name):
+    """A span when tracing, a do-nothing context manager otherwise."""
+    if session is not None:
+        return session.span(name, cat="host")
+
+    class _Null:
+        def __enter__(self):
+            return None
+
+        def __exit__(self, *exc):
+            return False
+
+    return _Null()
+
+
+def _jedd_pointsto_segment(session, facts):
+    """Re-run the points-to analysis as Jedd source via the interpreter,
+    under telemetry: the resulting trace nests interpreter statements
+    over relational operations over BDD kernel calls, and the SAT solve
+    of the physical-domain assignment appears as its own span."""
+    from repro.analyses import naive_points_to
+    from repro.analyses.jedd_sources import pointsto_source
+    from repro.jedd.compiler import compile_source
+
+    c = facts.counts()
+    bits = dict(
+        type_bits=max(2, c["classes"].bit_length()),
+        sig_bits=max(2, c["signatures"].bit_length()),
+        method_bits=max(2, len(facts.methods).bit_length()),
+        var_bits=max(2, c["variables"].bit_length()),
+        obj_bits=max(2, c["alloc_sites"].bit_length()),
+        field_bits=max(2, c["fields"].bit_length()),
+        site_bits=max(2, c["virtual_calls"].bit_length()),
+    )
+    with session.span("jedd.compile", cat="host"):
+        cp = compile_source(pointsto_source(**bits))
+    it = cp.interpreter()
+    session.instrument_universe(it.universe)
+    it.set_global("alloc", it.relation_of(["var", "obj"], facts.allocs))
+    it.set_global(
+        "assignEdge", it.relation_of(["dstvar", "srcvar"], facts.assigns)
+    )
+    it.set_global(
+        "storeEdge",
+        it.relation_of(["basevar", "field", "srcvar"], facts.stores),
+    )
+    it.set_global(
+        "loadEdge",
+        it.relation_of(["dstvar", "basevar", "field"], facts.loads),
+    )
+    it.call("solvePointsTo")
+    pt = it.global_relation("pt")
+    npt, _ = naive_points_to(facts)
+    assert set(pt.tuples()) == npt
+    print(f"[5] points-to via Jedd interpreter: {pt.size()} pairs "
+          "(matches the relational API result)")
+    it.universe.manager.gc()
+
+
 def main() -> None:
-    name = sys.argv[1] if len(sys.argv) > 1 else "compress"
+    from repro import telemetry
+
+    argv = sys.argv[1:]
+    trace_path = None
+    if "--trace" in argv:
+        i = argv.index("--trace")
+        if i + 1 >= len(argv):
+            print("usage: whole_program_analysis.py [preset] --trace FILE",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        trace_path = argv[i + 1]
+        argv = argv[:i] + argv[i + 2:]
+    name = argv[0] if argv else "compress"
     facts = preset(name)
     print(f"benchmark {name}: {facts.counts()}")
+
+    session = telemetry.enable() if trace_path else None
 
     au = AnalysisUniverse(facts)
     print(f"universe: {au.universe.manager.num_vars} BDD variables, "
           f"{len(au.universe.physical_domains())} physical domains")
+    if session is not None:
+        session.instrument_universe(au.universe)
 
     t0 = time.perf_counter()
-    hierarchy = Hierarchy(au)
+    with _phase(session, "hierarchy"):
+        hierarchy = Hierarchy(au)
     print(f"\n[1] hierarchy: {hierarchy.subtype.size()} subtype pairs "
           f"({time.perf_counter() - t0:.3f}s)")
     assert set(hierarchy.subtype.tuples()) == naive_subtypes(facts)
+    if session is not None:
+        # Explicit collection at the phase boundary: the GC pause and
+        # reclaimed-node metrics in the report come from these.
+        au.universe.manager.gc()
 
     t0 = time.perf_counter()
-    pta = PointsTo(au)
-    pt = pta.solve()
+    with _phase(session, "points-to"):
+        pta = PointsTo(au)
+        pt = pta.solve()
     print(f"[2] points-to: {pt.size()} (var, obj) pairs in "
           f"{pta.iterations} iterations ({time.perf_counter() - t0:.3f}s); "
           f"pt BDD has {pt.node_count()} nodes")
@@ -68,8 +158,9 @@ def main() -> None:
     assert set(pt.tuples()) == npt
 
     t0 = time.perf_counter()
-    cg = CallGraph(au, pt)
-    edges = cg.build()
+    with _phase(session, "call-graph"):
+        cg = CallGraph(au, pt)
+        edges = cg.build()
     print(f"[3] call graph: {edges.size()} caller/callee edges "
           f"({time.perf_counter() - t0:.3f}s)")
     order = [edges.schema.names().index(n) for n in ("caller", "callee")]
@@ -82,8 +173,9 @@ def main() -> None:
           f"{reached.size()} of {len(facts.methods)}")
 
     t0 = time.perf_counter()
-    se = SideEffects(au, pt, edges)
-    reads, writes = se.solve()
+    with _phase(session, "side-effects"):
+        se = SideEffects(au, pt, edges)
+        reads, writes = se.solve()
     print(f"[4] side effects: {reads.size()} reads, {writes.size()} writes "
           f"({time.perf_counter() - t0:.3f}s)")
     nreads, nwrites = naive_side_effects(facts)
@@ -104,6 +196,16 @@ def main() -> None:
     print("methods with the largest write sets:")
     for method, count in top:
         print(f"  {method:16s} {count} (object, field) pairs")
+
+    if session is not None:
+        au.universe.manager.gc()
+        _jedd_pointsto_segment(session, facts)
+        count = session.write_chrome_trace(
+            trace_path, process_name="whole-program-analysis"
+        )
+        print(f"\nwrote {count} trace events to {trace_path}")
+        print(session.text_report())
+        telemetry.disable()
 
 
 if __name__ == "__main__":

@@ -65,6 +65,8 @@ from typing import (
     Tuple,
 )
 
+from repro.bdd.stats import KernelStats
+
 __all__ = ["BDDManager", "BDDError", "ReorderEvent", "FALSE", "TRUE"]
 
 #: Node index of the constant-false terminal.
@@ -77,6 +79,12 @@ _OP_AND = 0
 _OP_OR = 1
 _OP_DIFF = 2
 _OP_XOR = 3
+# Stats slot for simplify() probes (the apply cache holds them under a
+# private -1 tag, which cannot index the per-op counter lists).
+_OP_SIMPLIFY_STAT = 4
+
+#: Op-tag names, in tag order, for :class:`KernelStats` per-op counters.
+_OP_NAMES = ("and", "or", "diff", "xor", "simplify")
 
 
 class BDDError(Exception):
@@ -138,6 +146,9 @@ class BDDManager:
         Node count above which :meth:`maybe_gc` actually collects.
     """
 
+    #: Metric prefix used by ``repro.telemetry`` for managers of this kind.
+    telemetry_name = "bdd"
+
     def __init__(self, num_vars: int, gc_threshold: int = 1 << 18) -> None:
         if num_vars < 0:
             raise BDDError("num_vars must be non-negative")
@@ -183,6 +194,11 @@ class BDDManager:
         #: Callbacks invoked with a :class:`ReorderEvent` after each pass.
         self.reorder_listeners: List[Callable[[ReorderEvent], None]] = []
         self._reorder_suppressed = 0
+        #: Always-on raw counters (cache probes, node creation, GC); the
+        #: telemetry layer pulls these at snapshot time.
+        self.stats = KernelStats(_OP_NAMES)
+        #: Callbacks invoked as ``listener(seconds, freed)`` after each GC.
+        self.gc_listeners: List[Callable[[float, int], None]] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -197,6 +213,19 @@ class BDDManager:
     def num_nodes(self) -> int:
         """Number of live (allocated, not freed) nodes, terminals included."""
         return len(self._level) - len(self._free)
+
+    def table_stats(self) -> Dict[str, float]:
+        """Unique/node table occupancy gauges (for telemetry snapshots)."""
+        live = self.num_nodes
+        capacity = len(self._level)
+        return {
+            "live_nodes": live,
+            "capacity": capacity,
+            "free_slots": len(self._free),
+            "unique_entries": len(self._unique),
+            "load": live / capacity if capacity else 0.0,
+            "num_vars": self._num_vars,
+        }
 
     def level_of(self, node: int) -> int:
         """Current level (physical position) of ``node``
@@ -314,6 +343,7 @@ class BDDManager:
         self._parents[high] += 1
         self._at_level[level].add(node)
         self._unique[key] = node
+        self.stats.nodes_created += 1
         return node
 
     def _var_bdd_at(self, level: int) -> int:
@@ -407,7 +437,9 @@ class BDDManager:
         key = (op, a, b)
         cached = self._apply_cache.get(key)
         if cached is not None:
+            self.stats.op_hits[op] += 1
             return cached
+        self.stats.op_misses[op] += 1
         la, lb = self._level[a], self._level[b]
         level = min(la, lb)
         a0, a1 = (self._low[a], self._high[a]) if la == level else (a, a)
@@ -426,7 +458,9 @@ class BDDManager:
             return FALSE
         cached = self._not_cache.get(a)
         if cached is not None:
+            self.stats.not_hits += 1
             return cached
+        self.stats.not_misses += 1
         result = self.mk(
             self._level[a],
             self.apply_not(self._low[a]),
@@ -479,7 +513,9 @@ class BDDManager:
         key = (a, levels)
         cached = self._exist_cache.get(key)
         if cached is not None:
+            self.stats.exist_hits += 1
             return cached
+        self.stats.exist_misses += 1
         low = self._exist(self._low[a], levels)
         high = self._exist(self._high[a], levels)
         if la == levels[0]:
@@ -521,7 +557,9 @@ class BDDManager:
         key = (a, b, levels)
         cached = self._and_exist_cache.get(key)
         if cached is not None:
+            self.stats.and_exist_hits += 1
             return cached
+        self.stats.and_exist_misses += 1
         a0, a1 = (self._low[a], self._high[a]) if la == top else (a, a)
         b0, b1 = (self._low[b], self._high[b]) if lb == top else (b, b)
         low = self._and_exist(a0, b0, levels)
@@ -569,10 +607,12 @@ class BDDManager:
                 return node
             cached = self._replace_cache.get((node, key_perm))
             if cached is not None:
+                self.stats.replace_hits += 1
                 return cached
             hit = memo.get(node)
             if hit is not None:
                 return hit
+            self.stats.replace_misses += 1
             level = self._level[node]
             new_level = perm.get(level, level)
             low = rec(self._low[node])
@@ -603,7 +643,9 @@ class BDDManager:
         key = (-1, f, care)  # share the apply cache with a private tag
         cached = self._apply_cache.get(key)
         if cached is not None:
+            self.stats.op_hits[_OP_SIMPLIFY_STAT] += 1
             return cached
+        self.stats.op_misses[_OP_SIMPLIFY_STAT] += 1
         lf, lc = self._level[f], self._level[care]
         if lc < lf:
             # The care set constrains a variable f does not test.
@@ -1252,6 +1294,8 @@ class BDDManager:
             method=method,
         )
         self.reorder_count += 1
+        self.stats.reorder_runs += 1
+        self.stats.reorder_seconds += event.seconds
         for listener in self.reorder_listeners:
             listener(event)
         return event
@@ -1361,6 +1405,7 @@ class BDDManager:
         Returns the number of nodes freed.  All operation caches are
         cleared, as they may reference dead nodes.
         """
+        start = perf_counter()
         marked = [False] * len(self._level)
         stack = [n for n, r in enumerate(self._refs) if r > 0]
         while stack:
@@ -1389,6 +1434,14 @@ class BDDManager:
                 freed += 1
         self._clear_caches()
         self.gc_count += 1
+        seconds = perf_counter() - start
+        stats = self.stats
+        stats.gc_runs += 1
+        stats.gc_seconds += seconds
+        stats.last_gc_seconds = seconds
+        stats.gc_reclaimed += freed
+        for listener in self.gc_listeners:
+            listener(seconds, freed)
         return freed
 
     # ------------------------------------------------------------------

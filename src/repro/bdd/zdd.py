@@ -18,9 +18,11 @@ eliminates nodes whose high branch is ``EMPTY``.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.bdd.manager import BDDError
+from repro.bdd.stats import KernelStats
 
 __all__ = ["ZDDManager", "EMPTY", "BASE"]
 
@@ -33,6 +35,9 @@ _OP_UNION = 0
 _OP_INTERSECT = 1
 _OP_DIFF = 2
 
+#: Op-tag names, in tag order, for :class:`KernelStats` per-op counters.
+_OP_NAMES = ("union", "intersect", "diff")
+
 
 class ZDDManager:
     """Manager for zero-suppressed decision diagrams.
@@ -42,6 +47,9 @@ class ZDDManager:
     ``node_count``, ``shape``); the set-algebra operations have
     ZDD-specific signatures used via the backend adapter.
     """
+
+    #: Metric prefix used by ``repro.telemetry`` for managers of this kind.
+    telemetry_name = "zdd"
 
     def __init__(self, num_vars: int, gc_threshold: int = 1 << 18) -> None:
         if num_vars < 0:
@@ -59,6 +67,11 @@ class ZDDManager:
         self._count_cache: Dict[int, int] = {}
         self.gc_threshold = gc_threshold
         self.gc_count = 0
+        #: Always-on raw counters (cache probes, node creation, GC); the
+        #: telemetry layer pulls these at snapshot time.
+        self.stats = KernelStats(_OP_NAMES)
+        #: Callbacks invoked as ``listener(seconds, freed)`` after each GC.
+        self.gc_listeners: List = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -73,6 +86,19 @@ class ZDDManager:
     def num_nodes(self) -> int:
         """Number of live nodes, terminals included."""
         return len(self._level) - len(self._free)
+
+    def table_stats(self) -> Dict[str, float]:
+        """Unique/node table occupancy gauges (for telemetry snapshots)."""
+        live = self.num_nodes
+        capacity = len(self._level)
+        return {
+            "live_nodes": live,
+            "capacity": capacity,
+            "free_slots": len(self._free),
+            "unique_entries": len(self._unique),
+            "load": live / capacity if capacity else 0.0,
+            "num_vars": self._num_vars,
+        }
 
     def is_terminal(self, node: int) -> bool:
         """True for ``EMPTY`` and ``BASE``."""
@@ -113,6 +139,7 @@ class ZDDManager:
             self._high.append(high)
             self._refs.append(0)
         self._unique[key] = node
+        self.stats.nodes_created += 1
         return node
 
     def single(self, levels: Iterable[int]) -> int:
@@ -165,7 +192,9 @@ class ZDDManager:
         key = (op, a, b)
         cached = self._op_cache.get(key)
         if cached is not None:
+            self.stats.op_hits[op] += 1
             return cached
+        self.stats.op_misses[op] += 1
         la, lb = self._level[a], self._level[b]
         if op == _OP_UNION:
             if la < lb:
@@ -221,7 +250,9 @@ class ZDDManager:
         key = (a, level)
         cached = self._change_cache.get(key)
         if cached is not None:
+            self.stats.change_hits += 1
             return cached
+        self.stats.change_misses += 1
         if la == level:
             result = self.mk(level, self._high[a], self._low[a])
         else:
@@ -295,7 +326,9 @@ class ZDDManager:
         key = (a, levels)
         cached = self._exist_cache.get(key)
         if cached is not None:
+            self.stats.exist_hits += 1
             return cached
+        self.stats.exist_misses += 1
         low = self._exist(self._low[a], levels)
         high = self._exist(self._high[a], levels)
         if la == levels[0]:
@@ -369,7 +402,9 @@ class ZDDManager:
             return 1
         cached = self._count_cache.get(a)
         if cached is not None:
+            self.stats.count_hits += 1
             return cached
+        self.stats.count_misses += 1
         result = self.count(self._low[a]) + self.count(self._high[a])
         self._count_cache[a] = result
         return result
@@ -497,6 +532,7 @@ class ZDDManager:
 
     def gc(self) -> int:
         """Sweep unreferenced nodes; clears all operation caches."""
+        start = perf_counter()
         marked = [False] * len(self._level)
         stack = [n for n, r in enumerate(self._refs) if r > 0]
         while stack:
@@ -523,4 +559,12 @@ class ZDDManager:
         self._exist_cache.clear()
         self._count_cache.clear()
         self.gc_count += 1
+        seconds = perf_counter() - start
+        stats = self.stats
+        stats.gc_runs += 1
+        stats.gc_seconds += seconds
+        stats.last_gc_seconds = seconds
+        stats.gc_reclaimed += freed
+        for listener in self.gc_listeners:
+            listener(seconds, freed)
         return freed

@@ -5,6 +5,7 @@ Usage::
     python -m repro.jedd.cli input.jedd -o output.py   # translate
     python -m repro.jedd.cli input.jedd --stats        # Table-1 numbers
     python -m repro.jedd.cli input.jedd --dump-ast     # pretty-print
+    python -m repro.jedd.cli input.jedd --trace t.json # run under telemetry
 
 Like the paper's jeddc, the output is an ordinary source file (here
 Python rather than Java) that can be incorporated into any project and
@@ -52,7 +53,48 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the liveness analysis (no eager frees)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="compile and run the program under telemetry, writing a "
+        "Chrome trace-event JSON file (open in chrome://tracing)",
+    )
     return parser
+
+
+def _run_traced(compiled, trace_path: str) -> int:
+    """Execute the compiled program under the active telemetry session
+    and write the Chrome trace; called with telemetry already enabled so
+    the SAT solve of the domain assignment is part of the trace."""
+    from repro import telemetry
+    from repro.jedd.interp import JeddRuntimeError
+
+    session = telemetry.active()
+    status = 0
+    try:
+        interp = compiled.interpreter()
+        session.instrument_universe(interp.universe)
+        if "main" in compiled.tp.functions:
+            func = compiled.tp.functions["main"]
+            if func.params:
+                print(
+                    "jeddc: note: main takes arguments; ran global "
+                    "initializers only",
+                    file=sys.stderr,
+                )
+            else:
+                interp.call("main")
+    except JeddRuntimeError as err:
+        # Still write the partial trace: seeing where execution died
+        # is exactly what the trace is for.
+        print(f"jeddc: runtime error: {err}", file=sys.stderr)
+        status = 1
+    count = session.write_chrome_trace(trace_path, process_name="jeddc")
+    print(f"jeddc: wrote {count} trace events to {trace_path}",
+          file=sys.stderr)
+    for line in session.text_report().splitlines():
+        print(f"jeddc: {line}", file=sys.stderr)
+    return status
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -64,6 +106,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except OSError as err:
         print(f"jeddc: cannot read {args.input}: {err}", file=sys.stderr)
         return 2
+    if args.trace:
+        from repro import telemetry
+
+        telemetry.enable()
     try:
         if args.dump_ast:
             print(pretty_program(parse_program(source)), end="")
@@ -72,6 +118,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except (LexError, ParseError, TypeError_, AssignmentError) as err:
         print(f"jeddc: error: {err}", file=sys.stderr)
         return 1
+    if args.trace:
+        return _run_traced(compiled, args.trace)
     if args.stats:
         for key, value in sorted(compiled.stats.items()):
             if isinstance(value, float):

@@ -22,6 +22,7 @@ from repro.jedd import ast
 from repro.jedd.assignment import AssignmentResult
 from repro.jedd.constraints import ConstraintGraph
 from repro.jedd.typecheck import TypedProgram, VarInfo
+from repro import telemetry as _telemetry
 from repro.relations import (
     JeddError,
     Relation,
@@ -193,15 +194,23 @@ class Interpreter:
         # Attribute relational operations to their Jedd program point
         # (the paper's profiler keys its views by source position).
         profiler = Relation.profiler
+        tel = _telemetry._active
         pos = getattr(stmt, "pos", None)
-        if profiler is not None and pos is not None:
-            profiler.push_site(f"{func or '<global>'}:{pos}")
-            try:
-                self._exec_stmt_inner(stmt, func, frame)
-            finally:
-                profiler.pop_site()
-        else:
+        if pos is None or (profiler is None and not tel.enabled):
             self._exec_stmt_inner(stmt, func, frame)
+            return
+        site = f"{func or '<global>'}:{pos}"
+        if profiler is not None:
+            profiler.push_site(site)
+        try:
+            if tel.enabled:
+                with tel.statement_span(site, kind=type(stmt).__name__):
+                    self._exec_stmt_inner(stmt, func, frame)
+            else:
+                self._exec_stmt_inner(stmt, func, frame)
+        finally:
+            if profiler is not None:
+                profiler.pop_site()
 
     def _exec_stmt_inner(
         self, stmt: object, func: Optional[str], frame: Dict

@@ -2,15 +2,28 @@
 
 from repro.profiler.html import generate_report
 from repro.profiler.recorder import ProfileEvent, Profiler, ReorderEvent
-from repro.profiler.sql import load_executions, load_shape, load_summary, save_events
+from repro.profiler.sql import (
+    has_spans,
+    load_executions,
+    load_shape,
+    load_site_kernel_breakdown,
+    load_sites,
+    load_summary,
+    save_events,
+    save_spans,
+)
 
 __all__ = [
     "ProfileEvent",
     "Profiler",
     "ReorderEvent",
     "generate_report",
+    "has_spans",
     "load_executions",
     "load_shape",
+    "load_site_kernel_breakdown",
+    "load_sites",
     "load_summary",
     "save_events",
+    "save_spans",
 ]

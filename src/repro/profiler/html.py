@@ -9,6 +9,12 @@ this reproduction generates the same three view levels as static HTML:
 3. ``shape_<id>.html`` -- a graphical (inline-SVG bar chart) rendering
    of the shape of one execution's result BDD, node count per level.
 
+When the database also holds telemetry spans (``sql.save_spans``), a
+fourth view is rendered: ``sites.html``, the per-site kernel breakdown
+-- for each program point, which BDD/ZDD kernel operations ran under it
+and for how long.  This is the drill-down the paper's profiler motivates
+(from a slow statement to the diagram behaviour that made it slow).
+
 Everything is plain files viewable in any HTML browser, as the paper
 intends.
 """
@@ -65,6 +71,50 @@ def _shape_svg(shape: List[int]) -> str:
     )
 
 
+def _write_sites_page(db_path: str, out_dir: str) -> None:
+    """Render ``sites.html``: per program point, the kernel operations
+    executed under it (name, count, total time) from telemetry spans."""
+    sites = sql.load_sites(db_path)
+    breakdown = sql.load_site_kernel_breakdown(db_path)
+    by_site: dict = {}
+    for site, name, count, seconds in breakdown:
+        by_site.setdefault(site, []).append((name, count, seconds))
+    sections = []
+    for site, count, seconds in sites:
+        rows = [
+            "<tr><th class='op'>kernel op</th><th>calls</th>"
+            "<th>total time (s)</th></tr>"
+        ]
+        for name, n, t in by_site.get(site, []):
+            rows.append(
+                f"<tr><td class='op'>{html.escape(name)}</td>"
+                f"<td>{n}</td><td>{t:.6f}</td></tr>"
+            )
+        sections.append(
+            f"<h2>{html.escape(site)} &mdash; {count} kernel calls, "
+            f"{seconds:.6f}s</h2><table>{''.join(rows)}</table>"
+        )
+    anonymous = by_site.get("", [])
+    if anonymous:
+        rows = [
+            "<tr><th class='op'>kernel op</th><th>calls</th>"
+            "<th>total time (s)</th></tr>"
+        ]
+        for name, n, t in anonymous:
+            rows.append(
+                f"<tr><td class='op'>{html.escape(name)}</td>"
+                f"<td>{n}</td><td>{t:.6f}</td></tr>"
+            )
+        sections.append(
+            f"<h2>(no program point)</h2><table>{''.join(rows)}</table>"
+        )
+    body = (
+        "".join(sections) or "<p>(no kernel spans recorded)</p>"
+    ) + "<p><a href='index.html'>back</a></p>"
+    with open(os.path.join(out_dir, "sites.html"), "w") as f:
+        f.write(_page("Per-site kernel breakdown", body))
+
+
 def generate_report(db_path: str, out_dir: str) -> str:
     """Render all views; returns the path of the overview page."""
     os.makedirs(out_dir, exist_ok=True)
@@ -81,9 +131,16 @@ def generate_report(db_path: str, out_dir: str) -> str:
             f"<td>{max_nodes}</td></tr>"
         )
     index_path = os.path.join(out_dir, "index.html")
+    extra = ""
+    if sql.has_spans(db_path):
+        _write_sites_page(db_path, out_dir)
+        extra = "<p><a href='sites.html'>per-site kernel breakdown</a></p>"
     with open(index_path, "w") as f:
         f.write(
-            _page("Jedd profile: overview", f"<table>{''.join(rows)}</table>")
+            _page(
+                "Jedd profile: overview",
+                f"<table>{''.join(rows)}</table>{extra}",
+            )
         )
     # Per-operation pages.
     for op, _, _, _ in summary:

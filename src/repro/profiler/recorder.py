@@ -7,6 +7,11 @@ instruments the public :class:`~repro.relations.relation.Relation`
 operations (install/uninstall monkey-patch the methods), accumulating
 :class:`ProfileEvent` records that the SQL and HTML modules persist and
 render.
+
+For kernel-level attribution (apply-cache behaviour, GC pauses, the
+span tree under each program point) attach a telemetry session with
+:meth:`Profiler.attach_telemetry`; the profiler keeps working unchanged
+without one.
 """
 
 from __future__ import annotations
@@ -50,6 +55,9 @@ class ProfileEvent:
     #: or a host-supplied section label -- the paper's profiler keys its
     #: views by the operation *in the program*, not just the kind of op
     site: str = ""
+    #: exception type name when the operation raised (its timing is
+    #: still recorded; result fields are zero)
+    error: Optional[str] = None
 
 
 @dataclass
@@ -77,6 +85,7 @@ class Profiler:
         self._installed = False
         self._site_stack: List[str] = []
         self._observed_managers: List[object] = []
+        self._telemetry = None
 
     # -- program point attribution ----------------------------------------
 
@@ -84,11 +93,15 @@ class Profiler:
         """Enter a program point; the interpreter pushes the source
         position of each Jedd statement, host code may push labels."""
         self._site_stack.append(site)
+        if self._telemetry is not None:
+            self._telemetry.push_site(site)
 
     def pop_site(self) -> None:
         """Leave the innermost program point."""
         if self._site_stack:
             self._site_stack.pop()
+            if self._telemetry is not None:
+                self._telemetry.pop_site()
 
     def current_site(self) -> str:
         """The innermost active program point ("" when outside any)."""
@@ -111,31 +124,46 @@ class Profiler:
     # -- instrumentation ---------------------------------------------------
 
     def install(self) -> "Profiler":
-        """Wrap the Relation operations to report to this profiler."""
+        """Wrap the Relation operations to report to this profiler.
+
+        Atomic: if wrapping any operation fails part-way, the methods
+        already patched are restored before the exception propagates, so
+        ``Relation`` is never left half-wrapped.
+        """
         if self._installed:
             return self
-        for name in _INSTRUMENTED:
-            original = getattr(Relation, name)
-            self._saved[name] = original
-            setattr(Relation, name, self._wrap(name, original))
+        saved: Dict[str, object] = {}
+        try:
+            for name in _INSTRUMENTED:
+                original = getattr(Relation, name)
+                saved[name] = original
+                setattr(Relation, name, self._wrap(name, original))
+        except Exception:
+            for name, original in saved.items():
+                setattr(Relation, name, original)
+            raise
+        self._saved = saved
         Relation.profiler = self
         self._installed = True
         return self
 
     def uninstall(self) -> None:
-        """Restore the original methods and detach reorder listeners."""
+        """Restore the original methods and detach reorder listeners.
+
+        Safe to call in any state: it restores whatever ``install``
+        managed to patch, so it also cleans up after a failed install.
+        """
         for manager in self._observed_managers:
             try:
                 manager.reorder_listeners.remove(self._on_reorder)
             except ValueError:
                 pass
         self._observed_managers.clear()
-        if not self._installed:
-            return
         for name, original in self._saved.items():
             setattr(Relation, name, original)
-        self._saved.clear()
-        Relation.profiler = None
+        self._saved = {}
+        if Relation.profiler is self:
+            Relation.profiler = None
         self._installed = False
 
     # -- dynamic reordering ------------------------------------------------
@@ -153,11 +181,33 @@ class Profiler:
         if manager not in self._observed_managers:
             manager.reorder_listeners.append(self._on_reorder)
             self._observed_managers.append(manager)
+        if self._telemetry is not None:
+            self._telemetry.instrument_manager(manager)
         return self
 
     def observe_universe(self, universe) -> "Profiler":
         """Convenience: observe a relational universe's manager."""
         return self.observe_manager(universe.manager)
+
+    # -- telemetry bridge --------------------------------------------------
+
+    def attach_telemetry(self, telemetry=None):
+        """Bind a :class:`repro.telemetry.Telemetry` session (enabling
+        one globally if none is given) and return it.
+
+        Existing ``Profiler`` users gain the kernel-level data with no
+        API change: sites pushed here also scope telemetry spans, and
+        managers passed to :meth:`observe_manager` are instrumented in
+        the metrics registry.
+        """
+        if telemetry is None:
+            from repro import telemetry as _telemetry_mod
+
+            telemetry = _telemetry_mod.enable()
+        self._telemetry = telemetry
+        for manager in self._observed_managers:
+            telemetry.instrument_manager(manager)
+        return telemetry
 
     def __enter__(self) -> "Profiler":
         return self.install()
@@ -175,7 +225,25 @@ class Profiler:
                 if isinstance(arg, Relation):
                     operands.append(arg.node_count())
             start = perf_counter()
-            result = original(self_rel, *args, **kwargs)
+            try:
+                result = original(self_rel, *args, **kwargs)
+            except Exception as err:
+                # Record the failed execution too, so a raising operation
+                # neither vanishes from the profile nor corrupts state
+                # (the site stack is managed by the caller's finally).
+                profiler.events.append(
+                    ProfileEvent(
+                        op=name,
+                        seconds=perf_counter() - start,
+                        operand_nodes=tuple(operands),
+                        result_nodes=0,
+                        result_tuples=0,
+                        shape=None,
+                        site=profiler.current_site(),
+                        error=type(err).__name__,
+                    )
+                )
+                raise
             elapsed = perf_counter() - start
             profiler.events.append(
                 ProfileEvent(
@@ -259,5 +327,6 @@ class Profiler:
         return sum(e.seconds for e in self.events)
 
     def clear(self) -> None:
-        """Drop all recorded events."""
+        """Drop all recorded events, reorder history included."""
         self.events.clear()
+        self.reorder_events.clear()

@@ -6,16 +6,30 @@ queries can be performed" (SQLite in the authors' setup).  This module
 stores events into sqlite3 (stdlib) with the same spirit: one row per
 execution, shapes in a child table, and a couple of canned queries the
 HTML views are built from.
+
+Telemetry spans (see ``repro.telemetry``) land in a ``spans`` table via
+:func:`save_spans`, which lets the HTML report drill from a program
+point to the kernel calls executed under it (:func:`load_site_kernel_breakdown`).
 """
 
 from __future__ import annotations
 
+import json
 import sqlite3
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.profiler.recorder import ProfileEvent
 
-__all__ = ["save_events", "load_summary", "load_executions", "load_shape"]
+__all__ = [
+    "save_events",
+    "save_spans",
+    "load_summary",
+    "load_executions",
+    "load_shape",
+    "load_sites",
+    "load_site_kernel_breakdown",
+    "has_spans",
+]
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS executions (
@@ -24,7 +38,8 @@ CREATE TABLE IF NOT EXISTS executions (
     seconds REAL NOT NULL,
     operand_nodes TEXT NOT NULL,
     result_nodes INTEGER NOT NULL,
-    result_tuples INTEGER NOT NULL
+    result_tuples INTEGER NOT NULL,
+    site TEXT NOT NULL DEFAULT ''
 );
 CREATE TABLE IF NOT EXISTS shapes (
     execution_id INTEGER NOT NULL REFERENCES executions(id),
@@ -35,24 +50,47 @@ CREATE INDEX IF NOT EXISTS idx_exec_op ON executions(op);
 CREATE INDEX IF NOT EXISTS idx_shape_exec ON shapes(execution_id);
 """
 
+_SPAN_SCHEMA = """
+CREATE TABLE IF NOT EXISTS spans (
+    id INTEGER NOT NULL,
+    parent INTEGER NOT NULL,
+    depth INTEGER NOT NULL,
+    name TEXT NOT NULL,
+    cat TEXT NOT NULL,
+    site TEXT NOT NULL DEFAULT '',
+    start REAL NOT NULL,
+    seconds REAL NOT NULL,
+    args TEXT NOT NULL DEFAULT '{}'
+);
+CREATE INDEX IF NOT EXISTS idx_span_site ON spans(site);
+CREATE INDEX IF NOT EXISTS idx_span_cat ON spans(cat);
+"""
+
 
 def save_events(db_path: str, events: Iterable[ProfileEvent]) -> int:
     """Persist events; returns the number of rows written."""
     conn = sqlite3.connect(db_path)
     try:
         conn.executescript(_SCHEMA)
+        try:  # migrate databases created before the site column existed
+            conn.execute(
+                "ALTER TABLE executions ADD COLUMN site TEXT NOT NULL DEFAULT ''"
+            )
+        except sqlite3.OperationalError:
+            pass
         count = 0
         for event in events:
             cur = conn.execute(
                 "INSERT INTO executions "
-                "(op, seconds, operand_nodes, result_nodes, result_tuples) "
-                "VALUES (?, ?, ?, ?, ?)",
+                "(op, seconds, operand_nodes, result_nodes, result_tuples, "
+                "site) VALUES (?, ?, ?, ?, ?, ?)",
                 (
                     event.op,
                     event.seconds,
                     ",".join(str(n) for n in event.operand_nodes),
                     event.result_nodes,
                     event.result_tuples,
+                    event.site,
                 ),
             )
             if event.shape is not None:
@@ -64,6 +102,39 @@ def save_events(db_path: str, events: Iterable[ProfileEvent]) -> int:
                         for level, nodes in enumerate(event.shape)
                     ],
                 )
+            count += 1
+        conn.commit()
+        return count
+    finally:
+        conn.close()
+
+
+def save_spans(db_path: str, spans: Iterable[object]) -> int:
+    """Persist telemetry spans (``repro.telemetry.Span``-like objects:
+    index/parent/depth/name/cat/site/start/end/args attributes).
+    Returns the number of rows written."""
+    conn = sqlite3.connect(db_path)
+    try:
+        conn.executescript(_SPAN_SCHEMA)
+        count = 0
+        for span in spans:
+            end = span.end if span.end is not None else span.start
+            conn.execute(
+                "INSERT INTO spans "
+                "(id, parent, depth, name, cat, site, start, seconds, args) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    span.index,
+                    span.parent,
+                    span.depth,
+                    span.name,
+                    span.cat,
+                    span.site or "",
+                    span.start,
+                    end - span.start,
+                    json.dumps(span.args, default=str),
+                ),
+            )
             count += 1
         conn.commit()
         return count
@@ -109,5 +180,56 @@ def load_shape(db_path: str, execution_id: int) -> List[int]:
             (execution_id,),
         ).fetchall()
         return [nodes for _, nodes in rows]
+    finally:
+        conn.close()
+
+
+def has_spans(db_path: str) -> bool:
+    """True when the database contains a populated ``spans`` table."""
+    conn = sqlite3.connect(db_path)
+    try:
+        row = conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' AND name='spans'"
+        ).fetchone()
+        if row is None:
+            return False
+        return conn.execute("SELECT COUNT(*) FROM spans").fetchone()[0] > 0
+    finally:
+        conn.close()
+
+
+def load_sites(db_path: str) -> List[Tuple[str, int, float]]:
+    """(site, kernel-span count, total kernel seconds) per program point,
+    heaviest first."""
+    conn = sqlite3.connect(db_path)
+    try:
+        rows = conn.execute(
+            "SELECT site, COUNT(*), SUM(seconds) FROM spans "
+            "WHERE cat = 'kernel' AND site != '' "
+            "GROUP BY site ORDER BY SUM(seconds) DESC"
+        ).fetchall()
+        return [(site, int(n), float(t)) for site, n, t in rows]
+    finally:
+        conn.close()
+
+
+def load_site_kernel_breakdown(
+    db_path: str, site: Optional[str] = None
+) -> List[Tuple[str, str, int, float]]:
+    """(site, kernel op, count, total seconds) — the per-site kernel
+    breakdown the HTML report renders.  ``site=None`` returns all sites."""
+    conn = sqlite3.connect(db_path)
+    try:
+        query = (
+            "SELECT site, name, COUNT(*), SUM(seconds) FROM spans "
+            "WHERE cat = 'kernel'"
+        )
+        params: Tuple = ()
+        if site is not None:
+            query += " AND site = ?"
+            params = (site,)
+        query += " GROUP BY site, name ORDER BY site, SUM(seconds) DESC"
+        rows = conn.execute(query, params).fetchall()
+        return [(s, name, int(n), float(t)) for s, name, n, t in rows]
     finally:
         conn.close()

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Sequence
 
 from repro.bdd import FALSE, TRUE, BDDManager, ZDDManager
+from repro.telemetry import traced as _traced
 from repro.bdd.zdd import BASE, EMPTY
 
 __all__ = [
@@ -192,18 +193,23 @@ class BDDBackend(DiagramBackend):
     def cube(self, assignment: Dict[int, bool]) -> int:
         return self.manager.cube(assignment)
 
+    @_traced("bdd.union", "kernel")
     def union(self, a: int, b: int) -> int:
         return self.manager.apply_or(a, b)
 
+    @_traced("bdd.intersect", "kernel")
     def intersect(self, a: int, b: int) -> int:
         return self.manager.apply_and(a, b)
 
+    @_traced("bdd.diff", "kernel")
     def diff(self, a: int, b: int) -> int:
         return self.manager.apply_diff(a, b)
 
+    @_traced("bdd.project", "kernel")
     def project(self, a: int, levels: Iterable[int]) -> int:
         return self.manager.exist(a, levels)
 
+    @_traced("bdd.match", "kernel")
     def match(self, a, b, cmp_levels, a_only_levels, b_only_levels, quantify):
         # Private bits are wildcards in the other operand: plain AND works
         # (paper 3.2.2); compose fuses the projection (bdd_appex).
@@ -211,6 +217,7 @@ class BDDBackend(DiagramBackend):
             return self.manager.and_exist(a, b, cmp_levels)
         return self.manager.apply_and(a, b)
 
+    @_traced("bdd.replace", "kernel")
     def replace(self, a: int, perm: Dict[int, int]) -> int:
         return self.manager.replace(a, perm)
 
@@ -228,6 +235,7 @@ class BDDBackend(DiagramBackend):
             )
         return node
 
+    @_traced("bdd.count", "kernel")
     def count(self, a: int, levels: Sequence[int]) -> int:
         return self.manager.sat_count(a, levels)
 
@@ -268,18 +276,23 @@ class ZDDBackend(DiagramBackend):
     def cube(self, assignment: Dict[int, bool]) -> int:
         return self.manager.cube(assignment)
 
+    @_traced("zdd.union", "kernel")
     def union(self, a: int, b: int) -> int:
         return self.manager.union(a, b)
 
+    @_traced("zdd.intersect", "kernel")
     def intersect(self, a: int, b: int) -> int:
         return self.manager.intersect(a, b)
 
+    @_traced("zdd.diff", "kernel")
     def diff(self, a: int, b: int) -> int:
         return self.manager.diff(a, b)
 
+    @_traced("zdd.project", "kernel")
     def project(self, a: int, levels: Iterable[int]) -> int:
         return self.manager.exist(a, levels)
 
+    @_traced("zdd.match", "kernel")
     def match(self, a, b, cmp_levels, a_only_levels, b_only_levels, quantify):
         # Absent bits mean 0 in ZDDs, so each operand must be expanded
         # over the other's private bits before intersecting.
@@ -290,6 +303,7 @@ class ZDDBackend(DiagramBackend):
             return self.manager.exist(joined, cmp_levels)
         return joined
 
+    @_traced("zdd.replace", "kernel")
     def replace(self, a: int, perm: Dict[int, int]) -> int:
         return self.manager.replace(a, perm)
 
@@ -304,6 +318,7 @@ class ZDDBackend(DiagramBackend):
             node = self.manager.union(node, self.manager.cube(assignment))
         return node
 
+    @_traced("zdd.count", "kernel")
     def count(self, a: int, levels: Sequence[int]) -> int:
         return self.manager.count(a)
 

@@ -43,6 +43,7 @@ from typing import (
 )
 
 from repro.relations.backend import DiagramBackend, make_backend
+from repro.telemetry import traced as _traced
 from repro.relations.domain import (
     Attribute,
     JeddError,
@@ -282,6 +283,7 @@ class Relation:
     # Physical domain movement
     # ------------------------------------------------------------------
 
+    @_traced("relation.replace", "relation")
     def replace(
         self, physdoms: Dict[str, PhysicalDomain | str]
     ) -> "Relation":
@@ -342,6 +344,7 @@ class Relation:
                 f"{op}: schemas differ: {self.schema!r} vs {other.schema!r}"
             )
 
+    @_traced("relation.union", "relation")
     def union(self, other: "Relation") -> "Relation":
         """All tuples in either relation (Jedd ``|``)."""
         self._check_same_schema(other, "union")
@@ -350,6 +353,7 @@ class Relation:
             self.schema, self.backend.union(self.node, aligned.node)
         )
 
+    @_traced("relation.intersect", "relation")
     def intersect(self, other: "Relation") -> "Relation":
         """Tuples in both relations (Jedd ``&``)."""
         self._check_same_schema(other, "intersect")
@@ -358,6 +362,7 @@ class Relation:
             self.schema, self.backend.intersect(self.node, aligned.node)
         )
 
+    @_traced("relation.difference", "relation")
     def difference(self, other: "Relation") -> "Relation":
         """Tuples in this relation but not the other (Jedd ``-``)."""
         self._check_same_schema(other, "difference")
@@ -405,6 +410,7 @@ class Relation:
     # Attribute operations ([Project], [Rename], [Copy])
     # ------------------------------------------------------------------
 
+    @_traced("relation.project_away", "relation")
     def project_away(self, *names: str) -> "Relation":
         """Remove attributes (Jedd ``(a=>) x``); may merge tuples."""
         levels: List[int] = []
@@ -430,6 +436,7 @@ class Relation:
         drop = [n for n in self.schema.names() if n not in keep]
         return self.project_away(*drop) if drop else self
 
+    @_traced("relation.rename", "relation")
     def rename(self, mapping: Dict[str, Attribute | str]) -> "Relation":
         """Substitute attributes (Jedd ``(a=>b) x``); no BDD change."""
         new_pairs = []
@@ -456,6 +463,7 @@ class Relation:
             )
         return self._wrap(Schema(new_pairs), self.node)
 
+    @_traced("relation.copy", "relation")
     def copy(
         self,
         source: str,
@@ -583,6 +591,7 @@ class Relation:
         b_only = [l for l in aligned.schema.levels() if l not in cmp_set]
         return aligned, cmp_levels, a_only, b_only
 
+    @_traced("relation.join", "relation")
     def join(
         self,
         other: "Relation",
@@ -616,6 +625,7 @@ class Relation:
                 new_pairs.append((attr, pd))
         return self._wrap(Schema(new_pairs), node)
 
+    @_traced("relation.compose", "relation")
     def compose(
         self,
         other: "Relation",

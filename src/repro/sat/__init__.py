@@ -7,6 +7,14 @@ unsatisfiable cores for error reporting.  Both are provided here.
 
 from repro.sat.brute import brute_force_solve
 from repro.sat.cnf import CNF, CNFError
-from repro.sat.solver import SATResult, Solver, solve
+from repro.sat.solver import SATResult, SolveStats, Solver, solve
 
-__all__ = ["CNF", "CNFError", "SATResult", "Solver", "solve", "brute_force_solve"]
+__all__ = [
+    "CNF",
+    "CNFError",
+    "SATResult",
+    "SolveStats",
+    "Solver",
+    "solve",
+    "brute_force_solve",
+]

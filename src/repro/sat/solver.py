@@ -22,9 +22,10 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro import telemetry as _telemetry
 from repro.sat.cnf import CNF
 
-__all__ = ["SATResult", "Solver", "solve"]
+__all__ = ["SATResult", "SolveStats", "Solver", "solve"]
 
 
 @dataclass
@@ -50,6 +51,24 @@ class SATResult:
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
+
+
+@dataclass(frozen=True)
+class SolveStats:
+    """Cumulative search statistics of a :class:`Solver` instance.
+
+    Unlike the per-result fields on :class:`SATResult`, these cover the
+    solver's whole lifetime (restarts, learned-clause churn included) and
+    are what the telemetry registry surfaces as ``sat.*`` counters.
+    """
+
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learned: int = 0
+    deleted: int = 0
+    reductions: int = 0
 
 
 def _luby(i: int) -> int:
@@ -106,6 +125,9 @@ class Solver:
         self.n_decisions = 0
         self.n_propagations = 0
         self.n_reductions = 0
+        self.n_restarts = 0
+        self.n_learned = 0
+        self.n_deleted = 0
         # Input bookkeeping.
         self._empty_clause_idx: Optional[int] = None
         self._unit_inputs: List[Tuple[int, int]] = []  # (literal, orig idx)
@@ -303,8 +325,30 @@ class Solver:
     # Main loop
     # ------------------------------------------------------------------
 
+    def stats(self) -> SolveStats:
+        """Snapshot of the cumulative search statistics."""
+        return SolveStats(
+            conflicts=self.n_conflicts,
+            decisions=self.n_decisions,
+            propagations=self.n_propagations,
+            restarts=self.n_restarts,
+            learned=self.n_learned,
+            deleted=self.n_deleted,
+            reductions=self.n_reductions,
+        )
+
     def solve(self) -> SATResult:
         """Run the CDCL search to completion."""
+        tel = _telemetry.active()
+        if not tel.enabled:
+            return self._solve()
+        before = self.stats()
+        with tel.span("sat.solve", cat="sat", vars=self.nv, clauses=len(self.clauses)):
+            result = self._solve()
+        tel.record_sat(self.stats(), before)
+        return result
+
+    def _solve(self) -> SATResult:
         if self._empty_clause_idx is not None:
             return SATResult(False, core=[self._empty_clause_idx])
         # Level-0 unit clauses.
@@ -349,6 +393,7 @@ class Solver:
                 continue
             if conflicts_until_restart <= 0 and self._decision_level() > 0:
                 restart_count += 1
+                self.n_restarts += 1
                 conflicts_until_restart = 64 * _luby(restart_count + 1)
                 self._backtrack(0)
                 continue
@@ -370,6 +415,7 @@ class Solver:
             self._assign(lit, None, None)
 
     def _learn(self, learnt: List[int], origins: FrozenSet[int]) -> None:
+        self.n_learned += 1
         asserting = learnt[-1]
         if len(learnt) == 1:
             # Unit learned clause: assign at level 0; its origin set is the
@@ -429,6 +475,7 @@ class Solver:
         for cid in candidates[: len(candidates) // 2]:
             self.clauses[cid] = None
             self.clause_activity.pop(cid, None)
+            self.n_deleted += 1
         self.learned_cids = [
             cid for cid in self.learned_cids if self.clauses[cid] is not None
         ]

@@ -32,6 +32,7 @@ import shlex
 import sys
 from typing import Dict, List, Optional
 
+from repro import telemetry
 from repro.jedd import ast
 from repro.jedd.lexer import LexError
 from repro.jedd.parser import ParseError, parse_expression
@@ -85,6 +86,14 @@ class RelationalShell(cmd.Cmd):
             self._fail(str(err))
             return False
 
+    def default(self, line: str) -> bool:
+        # Accept the colon-prefixed spellings (":stats", ":trace FILE",
+        # ":telemetry on") familiar from other REPLs.
+        if line.startswith(":"):
+            return self.onecmd(line[1:])
+        self._fail(f"unknown command {line.split()[0]!r} (try `help`)")
+        return False
+
     # -- declaration commands ------------------------------------------------
 
     def do_backend(self, arg: str) -> None:
@@ -132,6 +141,8 @@ class RelationalShell(cmd.Cmd):
             fresh.physical_domain(pd.name, pd.bits)
         fresh.finalize()
         self.universe = fresh
+        if telemetry.is_enabled():
+            telemetry.active().instrument_universe(fresh)
         self._say(
             f"universe ready: {fresh.manager.num_vars} diagram variables"
         )
@@ -209,6 +220,63 @@ class RelationalShell(cmd.Cmd):
                 f"{name:16s} {rel.schema!r}  {rel.size()} tuples, "
                 f"{rel.node_count()} nodes"
             )
+
+    # -- telemetry commands ----------------------------------------------------
+
+    def do_telemetry(self, arg: str) -> None:
+        """telemetry on|off|status -- toggle the telemetry session
+        (kernel metrics + span tracing; also reachable as `:telemetry`)."""
+        mode = arg.strip() or "status"
+        if mode == "on":
+            session = telemetry.enable()
+            if self.universe is not None:
+                session.instrument_universe(self.universe)
+            self._say("telemetry on")
+        elif mode == "off":
+            telemetry.disable()
+            self._say("telemetry off")
+        elif mode == "status":
+            self._say(
+                "telemetry is " + ("on" if telemetry.is_enabled() else "off")
+            )
+        else:
+            raise _ShellError("usage: telemetry on|off|status")
+
+    def _need_telemetry(self):
+        session = telemetry.active()
+        if not session.enabled:
+            raise _ShellError("telemetry is off; run `telemetry on` first")
+        return session
+
+    def do_stats(self, arg: str) -> None:
+        """stats [PREFIX] -- print the metrics snapshot (also `:stats`);
+        PREFIX filters metric names (e.g. `stats bdd.apply`)."""
+        session = self._need_telemetry()
+        prefix = arg.strip()
+        snapshot = session.metrics_snapshot()
+        shown = 0
+        width = max((len(k) for k in snapshot), default=0)
+        for name in sorted(snapshot):
+            if prefix and not name.startswith(prefix):
+                continue
+            value = snapshot[name]
+            if isinstance(value, float) and not value.is_integer():
+                self._say(f"{name:<{width}}  {value:.6f}")
+            else:
+                self._say(f"{name:<{width}}  {int(value)}")
+            shown += 1
+        if not shown:
+            self._say(f"(no metrics matching {prefix!r})")
+
+    def do_trace(self, arg: str) -> None:
+        """trace FILE -- write the collected spans as Chrome trace-event
+        JSON, loadable in chrome://tracing or Perfetto (also `:trace`)."""
+        session = self._need_telemetry()
+        path = arg.strip()
+        if not path:
+            raise _ShellError("usage: trace FILE")
+        count = session.write_chrome_trace(path, process_name="repro-shell")
+        self._say(f"wrote {count} trace events to {path}")
 
     def do_quit(self, arg: str) -> bool:
         """quit -- leave the shell."""

@@ -1,0 +1,197 @@
+"""Satellite tests: profiler robustness and its telemetry bridge."""
+
+import os
+import re
+
+import pytest
+
+from repro import telemetry
+from repro.profiler import (
+    Profiler,
+    generate_report,
+    has_spans,
+    load_site_kernel_breakdown,
+    load_sites,
+    save_events,
+    save_spans,
+)
+from repro.profiler.recorder import _INSTRUMENTED
+from repro.relations import JeddError, Relation, Universe
+from tests.jedd.helpers import FIGURE4_DATA
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_session():
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+@pytest.fixture
+def u():
+    universe = Universe()
+    d = universe.domain("D", 8)
+    universe.attribute("x", d)
+    universe.attribute("y", d)
+    universe.physical_domain("P1", d.bits)
+    universe.physical_domain("P2", d.bits)
+    universe.finalize()
+    return universe
+
+
+def _figure4_run(backend):
+    from repro.jedd.compiler import compile_source
+    from tests.jedd.helpers import FIGURE4, FIGURE4_DATA
+
+    cp = compile_source(FIGURE4)
+    it = cp.interpreter(backend=backend)
+    it.set_global(
+        "declaresMethod",
+        it.relation_of(
+            ["type", "signature", "method"], FIGURE4_DATA["declares"]
+        ),
+    )
+    it.call(
+        "resolve",
+        it.relation_of(["rectype", "signature"], FIGURE4_DATA["receivers"]),
+        it.relation_of(["subtype", "supertype"], FIGURE4_DATA["extend"]),
+    )
+    return it
+
+
+class TestSiteAttributionBothBackends:
+    @pytest.mark.parametrize("backend", ["bdd", "zdd"])
+    def test_summary_by_site_has_line_column_keys(self, backend):
+        with Profiler(record_shapes=False) as prof:
+            it = _figure4_run(backend)
+        assert FIGURE4_DATA["answer"] == set(
+            it.global_relation("answer").tuples()
+        )
+        by_site = prof.summary_by_site()
+        positioned = [site for site, _op in by_site if site]
+        assert positioned
+        # every attributed site carries a "func:line,column" position
+        assert all(
+            re.search(r":\d+,\d+$", site) for site in positioned
+        ), positioned
+        assert any(site.startswith("resolve:") for site in positioned)
+
+
+class TestRobustness:
+    def test_clear_drops_reorder_events(self, u):
+        from repro.profiler import ReorderEvent
+
+        prof = Profiler()
+        prof.reorder_events.append(
+            ReorderEvent(
+                trigger="manual", seconds=0.0, nodes_before=1,
+                nodes_after=1, order=(0,),
+            )
+        )
+        prof.clear()
+        assert prof.reorder_events == []
+
+    def test_raising_operation_recorded_and_reraised(self, u):
+        a = Relation.from_tuples(u, ["x"], [("a",)], ["P1"])
+        b = Relation.from_tuples(u, ["y"], [("b",)], ["P2"])
+        with Profiler(record_shapes=False) as prof:
+            with pytest.raises(JeddError):
+                a | b  # schema mismatch: union must raise
+        errors = [e for e in prof.events if e.error]
+        assert len(errors) == 1
+        assert errors[0].op == "union"
+        assert errors[0].error == "JeddError"
+        assert errors[0].result_nodes == 0
+
+    def test_exit_uninstalls_after_body_raises(self, u):
+        original = Relation.union
+        with pytest.raises(RuntimeError):
+            with Profiler():
+                assert Relation.union is not original
+                raise RuntimeError("body failure")
+        assert Relation.union is original
+        assert Relation.profiler is None
+
+    def test_failed_install_rolls_back(self, u, monkeypatch):
+        originals = {
+            name: getattr(Relation, name) for name in _INSTRUMENTED
+        }
+        monkeypatch.setattr(
+            "repro.profiler.recorder._INSTRUMENTED",
+            _INSTRUMENTED + ["no_such_operation"],
+        )
+        prof = Profiler()
+        with pytest.raises(AttributeError):
+            prof.install()
+        for name, original in originals.items():
+            assert getattr(Relation, name) is original, name
+        assert Relation.profiler is None
+        assert not prof._installed
+
+    def test_double_install_is_noop(self, u):
+        prof = Profiler()
+        prof.install()
+        wrapped = Relation.union
+        assert prof.install() is prof
+        assert Relation.union is wrapped
+        prof.uninstall()
+
+
+class TestTelemetryBridge:
+    def test_attach_enables_global_session(self, u):
+        with Profiler(record_shapes=False) as prof:
+            session = prof.attach_telemetry()
+            assert telemetry.active() is session
+            prof.observe_universe(u)
+            with prof.site("phase"):
+                a = Relation.from_tuples(u, ["x"], [("a",)], ["P1"])
+                b = Relation.from_tuples(u, ["x"], [("b",)], ["P1"])
+                (a | b).size()
+        kernel = [s for s in session.tracer.spans if s.cat == "kernel"]
+        assert kernel
+        assert any(s.site == "phase" for s in kernel)
+
+    def test_attach_accepts_existing_session(self, u):
+        session = telemetry.enable()
+        prof = Profiler()
+        assert prof.attach_telemetry(session) is session
+
+    def test_observe_before_attach_still_instruments(self, u):
+        prof = Profiler()
+        prof.observe_universe(u)
+        session = prof.attach_telemetry()
+        # the manager observed before the bridge existed is registered
+        assert any(m is u.manager for _p, m in session._managers)
+
+    def test_spans_land_in_profile_db_and_sites_page(self, u, tmp_path):
+        with Profiler(record_shapes=False) as prof:
+            session = prof.attach_telemetry()
+            with prof.site("hot-loop"):
+                a = Relation.from_tuples(u, ["x"], [("a",)], ["P1"])
+                b = Relation.from_tuples(u, ["x"], [("b",)], ["P1"])
+                for _ in range(3):
+                    (a | b).size()
+        db = str(tmp_path / "p.db")
+        save_events(db, prof.events)
+        assert save_spans(db, session.tracer.spans) > 0
+        assert has_spans(db)
+        sites = load_sites(db)
+        assert [s for s, _n, _t in sites] == ["hot-loop"]
+        breakdown = load_site_kernel_breakdown(db, "hot-loop")
+        assert any(name == "bdd.union" for _s, name, _n, _t in breakdown)
+        out = str(tmp_path / "html")
+        index = generate_report(db, out)
+        assert os.path.exists(os.path.join(out, "sites.html"))
+        content = open(os.path.join(out, "sites.html")).read()
+        assert "hot-loop" in content and "bdd.union" in content
+        assert "sites.html" in open(index).read()
+
+    def test_report_without_spans_has_no_sites_page(self, u, tmp_path):
+        with Profiler(record_shapes=False) as prof:
+            a = Relation.from_tuples(u, ["x"], [("a",)], ["P1"])
+            a | a
+        db = str(tmp_path / "p.db")
+        save_events(db, prof.events)
+        out = str(tmp_path / "html")
+        generate_report(db, out)
+        assert not os.path.exists(os.path.join(out, "sites.html"))

@@ -1,0 +1,92 @@
+"""Tests for the metric primitives and registry."""
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_labels,
+)
+
+
+class TestPrimitives:
+    def test_counter_inc_and_set_total(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        c.set_total(100)
+        assert c.value == 100
+
+    def test_gauge_set_and_add(self):
+        g = Gauge("load")
+        g.set(0.5)
+        g.add(0.25)
+        assert g.value == 0.75
+
+    def test_histogram_stats(self):
+        h = Histogram("pause")
+        for value in (0.001, 0.002, 0.009):
+            h.observe(value)
+        assert h.count == 3
+        assert abs(h.total - 0.012) < 1e-12
+        assert abs(h.mean - 0.004) < 1e-12
+        assert h.min == 0.001
+        assert h.max == 0.009
+
+    def test_histogram_buckets(self):
+        h = Histogram("pause", bounds=(0.01, 0.1))
+        h.observe(0.005)  # first bucket
+        h.observe(0.05)  # second bucket
+        h.observe(5.0)  # overflow bucket
+        assert h.buckets == [1, 1, 1]
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram("x").mean == 0.0
+
+    def test_format_labels(self):
+        assert format_labels(()) == ""
+        assert format_labels((("op", "and"),)) == "{op=and}"
+
+
+class TestRegistry:
+    def test_create_on_first_use_returns_same_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", op="and")
+        b = reg.counter("hits", op="and")
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_labels_distinguish_series(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", op="and").inc(3)
+        reg.counter("hits", op="or").inc(7)
+        snap = reg.snapshot()
+        assert snap["hits{op=and}"] == 3
+        assert snap["hits{op=or}"] == 7
+
+    def test_kinds_do_not_collide(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc(2)
+        reg.gauge("x").set(9)
+        assert reg.counter("x").value == 2
+        assert reg.gauge("x").value == 9
+
+    def test_snapshot_flattens_histograms(self):
+        reg = MetricsRegistry()
+        reg.histogram("gc.pause").observe(0.25)
+        reg.histogram("gc.pause").observe(0.75)
+        snap = reg.snapshot()
+        assert snap["gc.pause_count"] == 2
+        assert abs(snap["gc.pause_sum"] - 1.0) < 1e-12
+        assert abs(snap["gc.pause_mean"] - 0.5) < 1e-12
+        assert snap["gc.pause_max"] == 0.75
+
+    def test_series_sorted_and_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a")
+        assert [s.name for s in reg.series()] == ["a", "b"]
+        reg.clear()
+        assert reg.series() == []

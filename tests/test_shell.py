@@ -162,6 +162,71 @@ class TestErrors:
         assert out.strip().endswith("2")
 
 
+class TestTelemetryCommands:
+    @pytest.fixture(autouse=True)
+    def _clean_session(self):
+        from repro import telemetry
+
+        telemetry.disable()
+        yield
+        telemetry.disable()
+
+    def test_status_off_by_default(self):
+        shell, out = script(["telemetry status"])
+        assert "telemetry is off" in out
+
+    def test_stats_requires_telemetry(self):
+        shell, out = script(["stats"])
+        assert "error" in out and "telemetry is off" in out
+
+    def test_on_workload_stats(self):
+        shell, out = script(
+            [
+                "telemetry on",
+                "let up = (supertype=>tgttype) extend{subtype}"
+                " <> extend",
+                "stats bdd.nodes_created",
+            ]
+        )
+        assert "telemetry on" in out
+        assert "bdd.nodes_created" in out
+
+    def test_stats_prefix_filter_no_match(self):
+        shell, out = script(["telemetry on", "stats nosuchprefix"])
+        assert "no metrics matching" in out
+
+    def test_colon_spellings(self):
+        shell, out = script([":telemetry on", ":stats bdd.table"])
+        assert "telemetry on" in out
+        assert "bdd.table.live_nodes" in out
+
+    def test_trace_writes_valid_file(self, tmp_path):
+        import json
+
+        from repro.telemetry.export import validate_chrome_trace
+
+        path = tmp_path / "shell_trace.json"
+        shell, out = script(
+            [
+                "telemetry on",
+                "let up = extend | extend",
+                f"trace {path}",
+            ]
+        )
+        assert "trace events" in out
+        with open(path) as fh:
+            assert validate_chrome_trace(json.load(fh)) == []
+
+    def test_telemetry_before_finalize_instruments_universe(self):
+        out = io.StringIO()
+        run_script(["telemetry on"] + SETUP + ["stats bdd.table"], stdout=out)
+        assert "bdd.table.live_nodes" in out.getvalue()
+
+    def test_unknown_command_still_reported(self):
+        shell, out = script(["frobnicate"])
+        assert "unknown command" in out
+
+
 class TestQuitting:
     def test_quit_stops_script(self):
         out = io.StringIO()
