@@ -1,0 +1,132 @@
+"""Kernel-work benchmark: semi-naive vs naive fixpoint evaluation.
+
+The whole-program-analysis demo (``examples/whole_program_analysis.py``)
+runs points-to over the javac preset.  This benchmark runs the same
+analysis, on the same program shape plus one long copy chain
+(``c0 = new T(); c1 = c0; ... c79 = c78`` -- deep def-use chains like
+this are what drives iteration counts in real points-to runs), and
+compares the two engines on the always-on :class:`KernelStats`
+counters: total operation-cache misses and nodes created.
+
+Two regimes matter, and the benchmark shows both:
+
+* **Unbounded caches** (this kernel's default): the persistent apply
+  cache makes the *naive* loop incremental for free -- re-joining the
+  full ``pt`` each iteration mostly re-hits memoised subproblems, so
+  the two engines do comparable kernel work.
+* **Bounded caches** (``cache_limit``, the regime of BuDDy and CUDD,
+  whose operation caches are fixed-size): memoised results from
+  earlier iterations are evicted, so the naive loop genuinely re-pays
+  for the full relations every round, while the semi-naive engine's
+  delta joins stay within the cache.  Here the semi-naive engine does
+  **>= 2x** less work (misses + nodes created).
+"""
+
+import pytest
+
+from repro.analyses import AnalysisUniverse, PointsTo, preset
+
+#: Entries per operation cache in the bounded (BuDDy/CUDD-like) regime.
+CACHE_LIMIT = 4096
+#: Length of the copy chain appended to the javac preset.
+CHAIN_DEPTH = 80
+
+
+def chained_facts(depth=CHAIN_DEPTH):
+    """The demo's javac program plus one deep copy chain."""
+    facts = preset("javac")
+    method = facts.methods[0]
+    prev = None
+    for i in range(depth):
+        var = f"chain{i}"
+        facts.variables.append(var)
+        facts.method_vars.append((method, var))
+        facts.var_types.append((var, facts.classes[0]))
+        if prev is None:
+            facts.allocs.append((var, "chainsite"))
+            facts.alloc_types.append(("chainsite", facts.classes[-1]))
+        else:
+            facts.assigns.append((var, prev))
+        prev = var
+    return facts
+
+
+def kernel_cost(facts, engine, cache_limit=None):
+    """(cache misses, nodes created, pt tuples) for one solver run."""
+    au = AnalysisUniverse(facts)
+    manager = au.universe.manager
+    manager.cache_limit = cache_limit
+    manager.stats.reset()
+    solver = PointsTo(au, engine=engine)
+    solver.solve()
+    s = manager.stats
+    misses = (
+        sum(s.op_misses)
+        + s.and_exist_misses
+        + s.exist_misses
+        + s.replace_misses
+    )
+    return misses, s.nodes_created, solver.pt.size()
+
+
+@pytest.fixture(scope="module")
+def facts():
+    return chained_facts()
+
+
+def _report(label, naive, semi):
+    mn, nn, _ = naive
+    ms, ns, _ = semi
+    ratio = (mn + nn) / max(ms + ns, 1)
+    print(f"\n{label}")
+    print(f"  {'engine':>10s} {'misses':>10s} {'nodes':>8s} {'total':>10s}")
+    print(f"  {'naive':>10s} {mn:10d} {nn:8d} {mn + nn:10d}")
+    print(f"  {'seminaive':>10s} {ms:10d} {ns:8d} {ms + ns:10d}")
+    print(f"  reduction: {ratio:.2f}x")
+    return ratio
+
+
+def test_bounded_cache_seminaive_at_least_2x(facts):
+    """Under fixed-size operation caches the semi-naive engine does at
+    least 2x less kernel work (apply-cache misses + nodes created)."""
+    naive = kernel_cost(facts, "naive", cache_limit=CACHE_LIMIT)
+    semi = kernel_cost(facts, "seminaive", cache_limit=CACHE_LIMIT)
+    assert naive[2] == semi[2]  # identical solutions
+    ratio = _report(f"bounded caches ({CACHE_LIMIT} entries/op)", naive, semi)
+    assert ratio >= 2.0, (
+        f"expected >= 2x kernel-work reduction, measured {ratio:.2f}x"
+    )
+
+
+def test_unbounded_cache_parity_documented(facts):
+    """With unbounded caches the naive loop is incremental for free
+    (cross-iteration memoisation), so the engines are within 2x of each
+    other either way.  This pins down *why* the bounded regime above is
+    the one where semi-naive evaluation pays off."""
+    naive = kernel_cost(facts, "naive")
+    semi = kernel_cost(facts, "seminaive")
+    assert naive[2] == semi[2]
+    ratio = _report("unbounded caches (kernel default)", naive, semi)
+    assert 0.5 <= ratio <= 2.0
+
+
+def test_engines_agree_tuple_for_tuple():
+    """Correctness guard for the workload itself (cache eviction must
+    never change results, only costs)."""
+    facts = chained_facts(depth=12)
+    au_sn = AnalysisUniverse(facts)
+    au_sn.universe.manager.cache_limit = 256
+    au_nv = AnalysisUniverse(facts)
+    sn = PointsTo(au_sn, engine="seminaive")
+    nv = PointsTo(au_nv, engine="naive")
+    sn.solve()
+    nv.solve()
+
+    def tuples(rel, *names):
+        order = [rel.schema.names().index(n) for n in names]
+        return {tuple(t[i] for i in order) for t in rel.tuples()}
+
+    assert tuples(sn.pt, "var", "obj") == tuples(nv.pt, "var", "obj")
+    assert tuples(sn.hpt, "baseobj", "field", "srcobj") == tuples(
+        nv.hpt, "baseobj", "field", "srcobj"
+    )

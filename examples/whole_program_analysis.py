@@ -12,6 +12,12 @@ and cross-checks every result against a naive set-based oracle.
 Run:  python examples/whole_program_analysis.py [preset]
       (preset one of: javac-s compress javac sablecc jedit)
 
+The analyses run on the semi-naive fixpoint engine by default; pass
+``--engine naive`` to use the original whole-relation loops instead
+(both produce identical relations -- the differential suite asserts
+it).  In a traced run every fixpoint round appears as a
+``fixpoint.iteration`` span carrying the per-relation delta sizes.
+
 With ``--trace FILE`` the run executes under the telemetry layer: every
 phase becomes a span, kernel metrics (apply-cache hit rates, GC pauses,
 SAT statistics from the Jedd domain assignment) are printed at the end,
@@ -71,9 +77,11 @@ def _jedd_pointsto_segment(session, facts):
     """Re-run the points-to analysis as Jedd source via the interpreter,
     under telemetry: the resulting trace nests interpreter statements
     over relational operations over BDD kernel calls, and the SAT solve
-    of the physical-domain assignment appears as its own span."""
+    of the physical-domain assignment appears as its own span.  The
+    source uses the ``fix { ... }`` form, so each semi-naive round shows
+    up as a ``fix.iteration`` span with per-relation delta sizes."""
     from repro.analyses import naive_points_to
-    from repro.analyses.jedd_sources import pointsto_source
+    from repro.analyses.jedd_sources import pointsto_fix_source
     from repro.jedd.compiler import compile_source
 
     c = facts.counts()
@@ -87,7 +95,7 @@ def _jedd_pointsto_segment(session, facts):
         site_bits=max(2, c["virtual_calls"].bit_length()),
     )
     with session.span("jedd.compile", cat="host"):
-        cp = compile_source(pointsto_source(**bits))
+        cp = compile_source(pointsto_fix_source(**bits))
     it = cp.interpreter()
     session.instrument_universe(it.universe)
     it.set_global("alloc", it.relation_of(["var", "obj"], facts.allocs))
@@ -119,14 +127,23 @@ def main() -> None:
     if "--trace" in argv:
         i = argv.index("--trace")
         if i + 1 >= len(argv):
-            print("usage: whole_program_analysis.py [preset] --trace FILE",
+            print("usage: whole_program_analysis.py [preset] "
+                  "[--engine seminaive|naive] --trace FILE",
                   file=sys.stderr)
             raise SystemExit(2)
         trace_path = argv[i + 1]
         argv = argv[:i] + argv[i + 2:]
+    engine = "seminaive"
+    if "--engine" in argv:
+        i = argv.index("--engine")
+        if i + 1 >= len(argv) or argv[i + 1] not in ("seminaive", "naive"):
+            print("--engine takes 'seminaive' or 'naive'", file=sys.stderr)
+            raise SystemExit(2)
+        engine = argv[i + 1]
+        argv = argv[:i] + argv[i + 2:]
     name = argv[0] if argv else "compress"
     facts = preset(name)
-    print(f"benchmark {name}: {facts.counts()}")
+    print(f"benchmark {name}: {facts.counts()} [{engine} engine]")
 
     session = telemetry.enable() if trace_path else None
 
@@ -149,9 +166,9 @@ def main() -> None:
 
     t0 = time.perf_counter()
     with _phase(session, "points-to"):
-        pta = PointsTo(au)
+        pta = PointsTo(au, engine=engine)
         pt = pta.solve()
-    print(f"[2] points-to: {pt.size()} (var, obj) pairs in "
+    print(f"[2] points-to ({engine}): {pt.size()} (var, obj) pairs in "
           f"{pta.iterations} iterations ({time.perf_counter() - t0:.3f}s); "
           f"pt BDD has {pt.node_count()} nodes")
     npt, _ = naive_points_to(facts)
@@ -159,7 +176,7 @@ def main() -> None:
 
     t0 = time.perf_counter()
     with _phase(session, "call-graph"):
-        cg = CallGraph(au, pt)
+        cg = CallGraph(au, pt, engine=engine)
         edges = cg.build()
     print(f"[3] call graph: {edges.size()} caller/callee edges "
           f"({time.perf_counter() - t0:.3f}s)")
@@ -174,7 +191,7 @@ def main() -> None:
 
     t0 = time.perf_counter()
     with _phase(session, "side-effects"):
-        se = SideEffects(au, pt, edges)
+        se = SideEffects(au, pt, edges, engine=engine)
         reads, writes = se.solve()
     print(f"[4] side effects: {reads.size()} reads, {writes.size()} writes "
           f"({time.perf_counter() - t0:.3f}s)")

@@ -14,7 +14,7 @@ from repro.analyses.facts import ProgramFacts
 from repro.analyses.pointsto import naive_points_to
 from repro.analyses.universe import AnalysisUniverse
 from repro.analyses.vcall import VirtualCallResolver, naive_resolve
-from repro.relations import Relation
+from repro.relations import FixpointEngine, Relation
 
 __all__ = ["CallGraph", "naive_call_graph"]
 
@@ -22,45 +22,64 @@ __all__ = ["CallGraph", "naive_call_graph"]
 class CallGraph:
     """BDD-based call graph over points-to results."""
 
-    def __init__(self, au: AnalysisUniverse, pt: Relation) -> None:
+    def __init__(
+        self, au: AnalysisUniverse, pt: Relation, engine: str = "seminaive"
+    ) -> None:
+        from repro.analyses.pointsto import _check_engine
+
         self.au = au
         self.pt = pt
-        self.resolver = VirtualCallResolver(au)
+        self.engine = _check_engine(engine)
+        self.resolver = VirtualCallResolver(au, engine=engine)
         self.site_targets: Relation | None = None
         self.edges: Relation | None = None
 
     def build(self) -> Relation:
         """Returns ``calls`` with schema (caller, callee)."""
         au = self.au
-        vc = au.virtual_calls()  # (site, var, signature)
-        alloc_type = au.alloc_type()  # (obj, type)
-        # The receiver's possible runtime types at each site.
-        recv_objs = vc.compose(self.pt, ["var"], ["var"])  # (site, sig, obj)
-        recv_types = recv_objs.compose(
-            alloc_type, ["obj"], ["obj"]
-        ).rename({"type": "rectype"})  # (site, signature, rectype)
-        # Resolve (rectype, signature) pairs through the hierarchy.
-        receiver_types = recv_types.project_away("site")
-        answer = self.resolver.resolve(receiver_types)
-        # (rectype, signature, tgttype, method): attach back to sites.
-        targets = recv_types.join(
-            answer.project_away("tgttype"),
-            ["rectype", "signature"],
-            ["rectype", "signature"],
-        )  # (site, signature, rectype, method)
-        self.site_targets = targets.project_onto("site", "method").rename(
-            {"method": "callee"}
-        )
-        # Lift to method level through the enclosing-method relation.
-        site_method = au.site_method()  # (site, caller)
-        self.edges = self.site_targets.join(
-            site_method, ["site"], ["site"]
-        ).project_away("site")  # (callee, caller) order normalised below
+        with au.universe.scope() as sc:
+            vc = au.virtual_calls()  # (site, var, signature)
+            alloc_type = au.alloc_type()  # (obj, type)
+            # The receiver's possible runtime types at each site.
+            recv_objs = vc.compose(self.pt, ["var"], ["var"])  # (site, sig, obj)
+            recv_types = recv_objs.compose(
+                alloc_type, ["obj"], ["obj"]
+            ).rename({"type": "rectype"})  # (site, signature, rectype)
+            # Resolve (rectype, signature) pairs through the hierarchy.
+            receiver_types = recv_types.project_away("site")
+            answer = self.resolver.resolve(receiver_types)
+            # (rectype, signature, tgttype, method): attach back to sites.
+            targets = recv_types.join(
+                answer.project_away("tgttype"),
+                ["rectype", "signature"],
+                ["rectype", "signature"],
+            )  # (site, signature, rectype, method)
+            self.site_targets = sc.keep(
+                targets.project_onto("site", "method").rename(
+                    {"method": "callee"}
+                )
+            )
+            # Lift to method level through the enclosing-method relation.
+            site_method = au.site_method()  # (site, caller)
+            self.edges = sc.keep(
+                self.site_targets.join(
+                    site_method, ["site"], ["site"]
+                ).project_away("site")
+            )  # (callee, caller) order normalised below
         return self.edges
 
     def reachable_from(self, roots: Relation) -> Relation:
         """Methods transitively reachable from ``roots`` (schema: method)."""
         assert self.edges is not None, "build() first"
+        if self.engine == "seminaive":
+            eng = FixpointEngine(self.au.universe)
+            eng.fact("calls", self.edges)
+            eng.relation("reached", roots)
+            eng.rule("reached", ("callee",), [
+                ("reached", {"method": "caller"}),
+                ("calls", {"caller": "caller", "callee": "callee"}),
+            ])
+            return eng.solve()["reached"]
         edges = self.edges.rename({"caller": "method"})  # (method, callee)
         reached = roots
         while True:

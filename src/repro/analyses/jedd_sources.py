@@ -196,6 +196,34 @@ def mayAlias() {
 }
 """
 
+# The same algorithm with the explicit do/while loop replaced by a
+# ``fix`` block: the three rules run to a simultaneous fixed point with
+# semi-naive evaluation (each round joins only the previous round's
+# delta), and the intermediate relations s1/s2/l1/l2 disappear into
+# inlined compose chains.
+POINTSTO_FIX_BODY = """
+<var:V1, obj:H1> alloc;
+<dstvar:V1, srcvar:V2> assignEdge;
+<basevar:V1, field:F1, srcvar:V2> storeEdge;
+<dstvar:V1, basevar:V2, field:F1> loadEdge;
+<var:V1, obj:H1> pt;
+<baseobj:H1, field:F1, srcobj:H2> hpt;
+
+def solvePointsTo() {
+  pt = alloc;
+  hpt = 0B;
+  fix {
+    pt |= (dstvar=>var)
+        (assignEdge{srcvar} <> (var=>srcvar) pt{srcvar});
+    hpt |= (storeEdge{basevar} <> (var=>basevar, obj=>baseobj) pt{basevar})
+        {srcvar} <> (var=>srcvar, obj=>srcobj) pt{srcvar};
+    pt |= (dstvar=>var, srcobj=>obj)
+        ((loadEdge{basevar} <> (var=>basevar, obj=>baseobj) pt{basevar})
+        {baseobj, field} <> hpt{baseobj, field});
+  }
+}
+"""
+
 # Declared-type filtering (the full Berndl et al. [5] algorithm): a
 # variable may only point to objects whose runtime type is a subtype of
 # the variable's declared type.  Imports subtypeRel from the hierarchy
@@ -366,6 +394,11 @@ def pointsto_source(**bits) -> str:
         + POINTSTO_BODY
         + POINTSTO_FILTER_BODY
     )
+
+
+def pointsto_fix_source(**bits) -> str:
+    """Points-to with the iteration written as a ``fix`` block."""
+    return declarations(**bits) + POINTSTO_FIX_BODY
 
 
 def callgraph_source(**bits) -> str:

@@ -13,7 +13,11 @@ Rules iterated to a simultaneous fixpoint:
 3. field store:  ``b.f = s``              => hpt(o_b, f, o_s)
 4. field load:   ``d = b.f``              => pt(d, *) >= hpt(pt(b), f, *)
 
-The naive version runs the same chaotic iteration on Python sets.
+By default the rules run on the semi-naive
+:class:`~repro.relations.fixpoint.FixpointEngine` (each round joins
+only the previous round's delta); ``engine="naive"`` selects the
+original whole-relation loop, kept for differential testing.  The
+naive version runs the same chaotic iteration on Python sets.
 """
 
 from __future__ import annotations
@@ -22,9 +26,17 @@ from typing import Dict, Set, Tuple
 
 from repro.analyses.facts import ProgramFacts
 from repro.analyses.universe import AnalysisUniverse
-from repro.relations import Relation
+from repro.relations import FixpointEngine, JeddError, Relation
 
 __all__ = ["PointsTo", "naive_points_to"]
+
+
+def _check_engine(engine: str) -> str:
+    if engine not in ("seminaive", "naive"):
+        raise JeddError(
+            f"unknown engine {engine!r} (expected 'seminaive' or 'naive')"
+        )
+    return engine
 
 
 class PointsTo:
@@ -38,7 +50,10 @@ class PointsTo:
     """
 
     def __init__(
-        self, au: AnalysisUniverse, type_filter: bool = False
+        self,
+        au: AnalysisUniverse,
+        type_filter: bool = False,
+        engine: str = "seminaive",
     ) -> None:
         self.au = au
         self.alloc = au.alloc()
@@ -46,6 +61,8 @@ class PointsTo:
         self.store = au.store()
         self.load = au.load()
         self.type_filter = type_filter
+        self.engine = _check_engine(engine)
+        self.fixpoint: FixpointEngine | None = None
         self.compat: Relation | None = None
         self.pt: Relation | None = None
         self.hpt: Relation | None = None
@@ -57,24 +74,72 @@ class PointsTo:
         from repro.analyses.hierarchy import Hierarchy
 
         au = self.au
-        subtype = Hierarchy(au).subtype  # (subtype, supertype)
-        obj_sub = au.alloc_type().rename({"type": "subtype"})
-        var_super = au.rel(
-            ["var", "supertype"], au.facts.var_types, ["V1", "T2"]
-        )
-        obj_super = obj_sub.compose(
-            subtype, ["subtype"], ["subtype"]
-        )  # (obj, supertype)
-        return obj_super.compose(
-            var_super, ["supertype"], ["supertype"]
-        )  # (obj, var)
+        with au.universe.scope() as sc:
+            subtype = Hierarchy(au).subtype  # (subtype, supertype)
+            obj_sub = au.alloc_type().rename({"type": "subtype"})
+            var_super = au.rel(
+                ["var", "supertype"], au.facts.var_types, ["V1", "T2"]
+            )
+            obj_super = obj_sub.compose(
+                subtype, ["subtype"], ["subtype"]
+            )  # (obj, supertype)
+            return sc.keep(obj_super.compose(
+                var_super, ["supertype"], ["supertype"]
+            ))  # (obj, var)
 
     def solve(self) -> Relation:
         """Run to fixpoint; returns ``pt`` (schema var, obj)."""
-        au = self.au
-        pt = self.alloc
         if self.type_filter:
             self.compat = self._compatibility()
+        if self.engine == "seminaive":
+            return self._solve_seminaive()
+        return self._solve_naive()
+
+    def _solve_seminaive(self) -> Relation:
+        au = self.au
+        eng = FixpointEngine(au.universe)
+        self.fixpoint = eng
+        eng.fact("assign", self.assign)
+        eng.fact("store", self.store)
+        eng.fact("load", self.load)
+        eng.relation("pt", self.alloc)
+        eng.relation(
+            "hpt",
+            Relation.empty(
+                au.universe,
+                ["baseobj", "field", "srcobj"],
+                ["H1", "F1", "H2"],
+            ),
+        )
+        if self.compat is not None:
+            eng.filter("pt", self.compat)
+        # rule 2: assignments (dst inherits src's points-to set)
+        eng.rule("pt", ("dstvar", "obj"), [
+            ("assign", ("dstvar", "srcvar")),
+            ("pt", {"var": "srcvar", "obj": "obj"}),
+        ])
+        # rule 3: stores populate the heap
+        eng.rule("hpt", ("baseobj", "field", "srcobj"), [
+            ("store", ("basevar", "field", "srcvar")),
+            ("pt", {"var": "basevar", "obj": "baseobj"}),
+            ("pt", {"var": "srcvar", "obj": "srcobj"}),
+        ])
+        # rule 4: loads read the heap
+        eng.rule("pt", ("dstvar", "srcobj"), [
+            ("load", ("dstvar", "basevar", "field")),
+            ("pt", {"var": "basevar", "obj": "baseobj"}),
+            ("hpt", ("baseobj", "field", "srcobj")),
+        ])
+        solution = eng.solve()
+        self.pt = solution["pt"]
+        self.hpt = solution["hpt"]
+        self.iterations = eng.iterations
+        return self.pt
+
+    def _solve_naive(self) -> Relation:
+        au = self.au
+        pt = self.alloc
+        if self.compat is not None:
             pt = pt & self.compat
         hpt = Relation.empty(
             au.universe, ["baseobj", "field", "srcobj"], ["H1", "F1", "H2"]

@@ -15,7 +15,7 @@ from repro.analyses.callgraph import naive_call_graph
 from repro.analyses.facts import ProgramFacts
 from repro.analyses.pointsto import naive_points_to
 from repro.analyses.universe import AnalysisUniverse
-from repro.relations import Relation
+from repro.relations import FixpointEngine, Relation
 
 __all__ = ["SideEffects", "naive_side_effects"]
 
@@ -24,27 +24,37 @@ class SideEffects:
     """BDD-based read/write effect sets."""
 
     def __init__(
-        self, au: AnalysisUniverse, pt: Relation, call_edges: Relation
+        self,
+        au: AnalysisUniverse,
+        pt: Relation,
+        call_edges: Relation,
+        engine: str = "seminaive",
     ) -> None:
+        from repro.analyses.pointsto import _check_engine
+
         self.au = au
         self.pt = pt
         self.call_edges = call_edges  # (caller, callee)
+        self.engine = _check_engine(engine)
         self.writes: Relation | None = None
         self.reads: Relation | None = None
 
     def _direct(self) -> Tuple[Relation, Relation]:
         """Direct effects: (method, baseobj, field) per store/load."""
         au = self.au
-        mv_base = au.method_var().rename({"var": "basevar"})
-        pt_base = self.pt.rename({"var": "basevar", "obj": "baseobj"})
-        store_bf = au.store().project_away("srcvar")  # (basevar, field)
-        writes = store_bf.join(mv_base, ["basevar"], ["basevar"]).compose(
-            pt_base, ["basevar"], ["basevar"]
-        )  # (field, method, baseobj)
-        load_bf = au.load().project_away("dstvar")  # (basevar, field)
-        reads = load_bf.join(mv_base, ["basevar"], ["basevar"]).compose(
-            pt_base, ["basevar"], ["basevar"]
-        )
+        with au.universe.scope() as sc:
+            mv_base = au.method_var().rename({"var": "basevar"})
+            pt_base = self.pt.rename({"var": "basevar", "obj": "baseobj"})
+            store_bf = au.store().project_away("srcvar")  # (basevar, field)
+            writes = store_bf.join(mv_base, ["basevar"], ["basevar"]).compose(
+                pt_base, ["basevar"], ["basevar"]
+            )  # (field, method, baseobj)
+            load_bf = au.load().project_away("dstvar")  # (basevar, field)
+            reads = load_bf.join(mv_base, ["basevar"], ["basevar"]).compose(
+                pt_base, ["basevar"], ["basevar"]
+            )
+            reads = sc.keep(reads.project_onto("method", "baseobj", "field"))
+            writes = sc.keep(writes.project_onto("method", "baseobj", "field"))
         return reads, writes
 
     def solve(self) -> Tuple[Relation, Relation]:
@@ -54,8 +64,27 @@ class SideEffects:
         until a fixpoint.
         """
         reads, writes = self._direct()
-        reads = reads.project_onto("method", "baseobj", "field")
-        writes = writes.project_onto("method", "baseobj", "field")
+        if self.engine == "seminaive":
+            eng = FixpointEngine(self.au.universe)
+            eng.fact("calls", self.call_edges)
+            eng.relation("reads", reads)
+            eng.relation("writes", writes)
+            for name in ("reads", "writes"):
+                # caller inherits callee effects
+                eng.rule(
+                    name,
+                    {"method": "caller", "baseobj": "baseobj",
+                     "field": "field"},
+                    [
+                        ("calls", {"caller": "caller", "callee": "callee"}),
+                        (name, {"method": "callee", "baseobj": "baseobj",
+                                "field": "field"}),
+                    ],
+                )
+            solution = eng.solve()
+            self.reads = solution["reads"]
+            self.writes = solution["writes"]
+            return self.reads, self.writes
         edges = self.call_edges  # (caller, callee)
         while True:
             # caller inherits callee effects

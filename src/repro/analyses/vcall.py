@@ -13,7 +13,7 @@ from typing import Set, Tuple
 
 from repro.analyses.facts import ProgramFacts
 from repro.analyses.universe import AnalysisUniverse
-from repro.relations import Relation
+from repro.relations import FixpointEngine, Relation
 
 __all__ = ["VirtualCallResolver", "naive_resolve"]
 
@@ -21,10 +21,15 @@ __all__ = ["VirtualCallResolver", "naive_resolve"]
 class VirtualCallResolver:
     """BDD-based resolution, one loop iteration per hierarchy level."""
 
-    def __init__(self, au: AnalysisUniverse) -> None:
+    def __init__(
+        self, au: AnalysisUniverse, engine: str = "seminaive"
+    ) -> None:
+        from repro.analyses.pointsto import _check_engine
+
         self.au = au
         self.declares = au.declares_method()
         self.extend = au.extend()
+        self.engine = _check_engine(engine)
 
     def resolve(self, receiver_types: Relation) -> Relation:
         """Figure 4's ``resolve``.
@@ -33,6 +38,60 @@ class VirtualCallResolver:
         has schema (rectype, signature, tgttype, method) where tgttype
         is the class that actually implements the method.
         """
+        if self.engine == "seminaive":
+            return self._resolve_seminaive(receiver_types)
+        return self._resolve_naive(receiver_types)
+
+    def _resolve_seminaive(self, receiver_types: Relation) -> Relation:
+        """Figure 4 as rules: ``walk`` carries the (rectype, signature)
+        pairs up the hierarchy, stopping at the first class that
+        declares the signature; ``answer`` collects the stops."""
+        u = self.au.universe
+        eng = FixpointEngine(u)
+        eng.fact("declares", self.declares)
+        # (type, signature) pairs with *some* declaration -- the
+        # stratified-negation guard for "keep walking".
+        eng.fact("declared_at", self.declares.project_away("method"))
+        eng.fact("extends", self.extend)
+        eng.relation(
+            "walk",
+            receiver_types.copy("rectype", ["rectype", "tgttype"], ["T2"]),
+        )
+        eng.relation(
+            "answer",
+            Relation.empty(
+                u,
+                ["rectype", "signature", "tgttype", "method"],
+                ["T1", "S1", "T2", "M1"],
+            ),
+        )
+        eng.rule(
+            "answer",
+            {"rectype": "rectype", "signature": "signature",
+             "tgttype": "tgttype", "method": "method"},
+            [
+                ("walk", {"rectype": "rectype", "signature": "signature",
+                          "tgttype": "tgttype"}),
+                ("declares", {"type": "tgttype", "signature": "signature",
+                              "method": "method"}),
+            ],
+        )
+        eng.rule(
+            "walk",
+            {"rectype": "rectype", "signature": "signature",
+             "tgttype": "supertype"},
+            [
+                ("walk", {"rectype": "rectype", "signature": "signature",
+                          "tgttype": "tgttype"}),
+                ("!declared_at", {"type": "tgttype",
+                                  "signature": "signature"}),
+                ("extends", {"subtype": "tgttype",
+                             "supertype": "supertype"}),
+            ],
+        )
+        return eng.solve()["answer"]
+
+    def _resolve_naive(self, receiver_types: Relation) -> Relation:
         answer = Relation.empty(
             self.au.universe,
             ["rectype", "signature", "tgttype", "method"],

@@ -144,12 +144,25 @@ class BDDManager:
         :meth:`add_vars` (new variables are appended below existing ones).
     gc_threshold:
         Node count above which :meth:`maybe_gc` actually collects.
+    cache_limit:
+        Maximum number of entries held in each operation cache, or
+        ``None`` for unbounded caches.  Real BDD packages (BuDDy's
+        ``bdd_setcacheratio``, CUDD's ``maxCacheHard``) bound their
+        operation caches, so memoised results from earlier iterations
+        of a fixpoint loop are eventually evicted; the bound here
+        emulates that regime by clearing a cache that reaches the
+        limit.  Mutable at runtime, like :attr:`gc_threshold`.
     """
 
     #: Metric prefix used by ``repro.telemetry`` for managers of this kind.
     telemetry_name = "bdd"
 
-    def __init__(self, num_vars: int, gc_threshold: int = 1 << 18) -> None:
+    def __init__(
+        self,
+        num_vars: int,
+        gc_threshold: int = 1 << 18,
+        cache_limit: Optional[int] = None,
+    ) -> None:
         if num_vars < 0:
             raise BDDError("num_vars must be non-negative")
         self._num_vars = num_vars
@@ -178,6 +191,8 @@ class BDDManager:
         self._replace_cache: Dict[Tuple[int, Tuple[Tuple[int, int], ...]], int] = {}
         self._count_cache: Dict[Tuple[int, int], int] = {}
         self.gc_threshold = gc_threshold
+        #: Entry bound per operation cache (``None`` = unbounded).
+        self.cache_limit = cache_limit
         #: Number of garbage collections performed (exposed for profiling).
         self.gc_count = 0
         # Dynamic reordering configuration/state.
@@ -287,6 +302,13 @@ class BDDManager:
         self._and_exist_cache.clear()
         self._replace_cache.clear()
         self._count_cache.clear()
+
+    def _cache_store(self, cache, key, result):
+        """Insert into an operation cache, honouring :attr:`cache_limit`."""
+        if self.cache_limit is not None and len(cache) >= self.cache_limit:
+            cache.clear()
+        cache[key] = result
+        return result
 
     # ------------------------------------------------------------------
     # Node construction
@@ -447,8 +469,7 @@ class BDDManager:
         result = self.mk(
             level, self._apply(op, a0, b0), self._apply(op, a1, b1)
         )
-        self._apply_cache[key] = result
-        return result
+        return self._cache_store(self._apply_cache, key, result)
 
     def apply_not(self, a: int) -> int:
         """Complement (the full relation minus ``a``)."""
@@ -466,8 +487,7 @@ class BDDManager:
             self.apply_not(self._low[a]),
             self.apply_not(self._high[a]),
         )
-        self._not_cache[a] = result
-        return result
+        return self._cache_store(self._not_cache, a, result)
 
     def ite(self, f: int, g: int, h: int) -> int:
         """If-then-else: ``(f AND g) OR (NOT f AND h)``."""
@@ -522,8 +542,7 @@ class BDDManager:
             result = self.apply_or(low, high)
         else:
             result = self.mk(la, low, high)
-        self._exist_cache[key] = result
-        return result
+        return self._cache_store(self._exist_cache, key, result)
 
     def and_exist(self, a: int, b: int, variables: Iterable[int]) -> int:
         """``exist(a AND b, variables)`` in one pass (relational composition).
@@ -571,8 +590,7 @@ class BDDManager:
                 result = self.apply_or(low, self._and_exist(a1, b1, levels))
         else:
             result = self.mk(top, low, self._and_exist(a1, b1, levels))
-        self._and_exist_cache[key] = result
-        return result
+        return self._cache_store(self._and_exist_cache, key, result)
 
     # ------------------------------------------------------------------
     # Variable permutation (physical domain moves)
@@ -619,8 +637,9 @@ class BDDManager:
             high = rec(self._high[node])
             result = self.ite(self._var_bdd_at(new_level), high, low)
             memo[node] = result
-            self._replace_cache[(node, key_perm)] = result
-            return result
+            return self._cache_store(
+                self._replace_cache, (node, key_perm), result
+            )
 
         return rec(a)
 
@@ -668,8 +687,7 @@ class BDDManager:
                     self._simplify(self._low[f], c0),
                     self._simplify(self._high[f], c1),
                 )
-        self._apply_cache[key] = result
-        return result
+        return self._cache_store(self._apply_cache, key, result)
 
     def to_dot(self, a: int, var_names: Optional[Dict[int, str]] = None) -> str:
         """GraphViz rendering of the BDD rooted at ``a``.

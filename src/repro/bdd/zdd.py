@@ -51,7 +51,12 @@ class ZDDManager:
     #: Metric prefix used by ``repro.telemetry`` for managers of this kind.
     telemetry_name = "zdd"
 
-    def __init__(self, num_vars: int, gc_threshold: int = 1 << 18) -> None:
+    def __init__(
+        self,
+        num_vars: int,
+        gc_threshold: int = 1 << 18,
+        cache_limit: Optional[int] = None,
+    ) -> None:
         if num_vars < 0:
             raise BDDError("num_vars must be non-negative")
         self._num_vars = num_vars
@@ -66,6 +71,9 @@ class ZDDManager:
         self._exist_cache: Dict[Tuple[int, Tuple[int, ...]], int] = {}
         self._count_cache: Dict[int, int] = {}
         self.gc_threshold = gc_threshold
+        #: Entry bound per operation cache (``None`` = unbounded), as in
+        #: :class:`repro.bdd.manager.BDDManager`.
+        self.cache_limit = cache_limit
         self.gc_count = 0
         #: Always-on raw counters (cache probes, node creation, GC); the
         #: telemetry layer pulls these at snapshot time.
@@ -231,7 +239,13 @@ class ZDDManager:
                     self._binop(op, self._low[a], self._low[b]),
                     self._binop(op, self._high[a], self._high[b]),
                 )
-        self._op_cache[key] = result
+        return self._cache_store(self._op_cache, key, result)
+
+    def _cache_store(self, cache, key, result):
+        """Insert into an operation cache, honouring :attr:`cache_limit`."""
+        if self.cache_limit is not None and len(cache) >= self.cache_limit:
+            cache.clear()
+        cache[key] = result
         return result
 
     def change(self, a: int, level: int) -> int:
@@ -261,8 +275,7 @@ class ZDDManager:
                 self._change(self._low[a], level),
                 self._change(self._high[a], level),
             )
-        self._change_cache[key] = result
-        return result
+        return self._cache_store(self._change_cache, key, result)
 
     def dontcare(self, a: int, levels: Iterable[int]) -> int:
         """Expand each given bit to both 0 and 1 (explicit wildcard).
@@ -335,8 +348,7 @@ class ZDDManager:
             result = self.union(low, high)
         else:
             result = self.mk(la, low, high)
-        self._exist_cache[key] = result
-        return result
+        return self._cache_store(self._exist_cache, key, result)
 
     def replace(self, a: int, permutation: Dict[int, int]) -> int:
         """Rename bit positions by an injective ``permutation``.
@@ -406,8 +418,7 @@ class ZDDManager:
             return cached
         self.stats.count_misses += 1
         result = self.count(self._low[a]) + self.count(self._high[a])
-        self._count_cache[a] = result
-        return result
+        return self._cache_store(self._count_cache, a, result)
 
     def all_sat(
         self, a: int, levels: Sequence[int]

@@ -38,6 +38,7 @@ __all__ = [
     "ReturnStmt",
     "PrintStmt",
     "FreeStmt",
+    "FixStmt",
     "Expr",
     "VarRef",
     "ConstRel",
@@ -49,6 +50,7 @@ __all__ = [
     "Replacement",
     "Compare",
     "CallStmt",
+    "walk_var_refs",
 ]
 
 
@@ -230,6 +232,19 @@ class FreeStmt:
     pos: Position
 
 
+@dataclass
+class FixStmt:
+    """``fix { x |= e; ... }`` -- saturate the ``|=`` rules to a least
+    fixed point with semi-naive (delta) evaluation.
+
+    Every statement in the block must be a ``|=`` assignment, and the
+    assigned variables may only be used monotonically in the block (not
+    under the right operand of ``-``)."""
+
+    body: List["AssignStmt"]
+    pos: Position
+
+
 # ----------------------------------------------------------------------
 # Expressions
 # ----------------------------------------------------------------------
@@ -321,3 +336,16 @@ class Compare(Expr):
     left: Expr
     right: Expr
     pos: Position = field(default=Position(0, 0))
+
+
+def walk_var_refs(expr: Expr):
+    """Yield every :class:`VarRef` occurrence in an expression tree, in
+    source order.  Used by the ``fix`` implementations to find the
+    occurrences of the fixed variables that get delta overrides."""
+    if isinstance(expr, VarRef):
+        yield expr
+    elif isinstance(expr, (SetOp, JoinOp, Compare)):
+        yield from walk_var_refs(expr.left)
+        yield from walk_var_refs(expr.right)
+    elif isinstance(expr, ReplaceOp):
+        yield from walk_var_refs(expr.operand)

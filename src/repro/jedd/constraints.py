@@ -215,6 +215,11 @@ class _Builder:
         elif isinstance(stmt, ast.DoWhileStmt):
             self._block(stmt.body, func)
             self._compare(stmt.cond, func)
+        elif isinstance(stmt, ast.FixStmt):
+            # Each rule constrains exactly like the plain assignment
+            # it repeats; the delta overrides reuse the same domains.
+            for s in stmt.body:
+                self._stmt(s, func)
         elif isinstance(stmt, ast.PrintStmt):
             self._expr(stmt.expr, func)
 

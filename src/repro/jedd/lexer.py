@@ -28,6 +28,7 @@ KEYWORDS = {
     "new",
     "print",
     "free",
+    "fix",
 }
 
 # Multi-character symbols, longest first so maximal munch works.

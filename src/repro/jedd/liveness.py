@@ -56,6 +56,11 @@ def _stmt_uses(stmt: object) -> Set[str]:
         return out
     if isinstance(stmt, ast.PrintStmt):
         return expr_uses(stmt.expr)
+    if isinstance(stmt, ast.FixStmt):
+        out: Set[str] = set()
+        for s in stmt.body:
+            out |= _stmt_uses(s)
+        return out
     return set()
 
 
@@ -64,6 +69,7 @@ def _stmt_defs(stmt: object) -> Set[str]:
         return {stmt.name}
     if isinstance(stmt, ast.AssignStmt) and stmt.op == "=":
         return {stmt.target}
+    # FixStmt targets are '|=' (read-modify-write), so they kill nothing.
     return set()
 
 

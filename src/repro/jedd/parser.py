@@ -199,6 +199,23 @@ class _Parser:
             name = self.expect("ident").text
             self.expect(";")
             return ast.FreeStmt(name, pos)
+        if self.at_keyword("fix"):
+            pos = self.advance().pos
+            self.expect("{")
+            body: List[ast.AssignStmt] = []
+            while not self.at("}"):
+                stmt = self.statement()
+                if not isinstance(stmt, ast.AssignStmt):
+                    raise ParseError(
+                        "fix block allows only assignment statements, "
+                        f"found {type(stmt).__name__} at "
+                        f"{getattr(stmt, 'pos', pos)}"
+                    )
+                body.append(stmt)
+            self.expect("}")
+            if not body:
+                raise ParseError(f"empty fix block at {pos}")
+            return ast.FixStmt(body, pos)
         if self.at("ident"):
             if self.peek(1).kind in ("=", "|=", "&=", "-="):
                 name_tok = self.advance()

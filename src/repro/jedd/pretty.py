@@ -105,6 +105,12 @@ def pretty_stmt(stmt: object, depth: int = 0) -> List[str]:
         return [f"{pad}return;"]
     if isinstance(stmt, ast.PrintStmt):
         return [f"{pad}print({pretty_expr(stmt.expr)});"]
+    if isinstance(stmt, ast.FixStmt):
+        lines = [f"{pad}fix {{"]
+        for inner in stmt.body:
+            lines.extend(pretty_stmt(inner, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
     if isinstance(stmt, ast.FreeStmt):
         return [f"{pad}free {stmt.name};"]
     raise TypeError(f"cannot pretty-print {type(stmt).__name__}")

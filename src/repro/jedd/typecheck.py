@@ -270,12 +270,53 @@ class _Checker:
         elif isinstance(stmt, ast.DoWhileStmt):
             self._check_block(stmt.body, func)
             self._check_compare(stmt.cond, func)
+        elif isinstance(stmt, ast.FixStmt):
+            self._check_fix(stmt, func)
         elif isinstance(stmt, ast.PrintStmt):
             self._check_expr(stmt.expr, func)
         elif isinstance(stmt, (ast.ReturnStmt, ast.FreeStmt)):
             pass
         else:  # pragma: no cover
             raise TypeError_(f"unknown statement {stmt!r}", ast.Position(0, 0))
+
+    def _check_fix(self, stmt: ast.FixStmt, func: Optional[str]) -> None:
+        # [Fix]: a block of '|=' rules saturated to a least fixed point.
+        # Soundness needs the targets to grow monotonically, so they may
+        # not occur under the right operand of '-' anywhere in the block.
+        targets = set()
+        for s in stmt.body:
+            if not isinstance(s, ast.AssignStmt) or s.op != "|=":
+                raise TypeError_(
+                    "fix block allows only '|=' assignments",
+                    getattr(s, "pos", stmt.pos),
+                )
+            targets.add(s.target)
+        for s in stmt.body:
+            self._check_stmt(s, func)
+        for s in stmt.body:
+            self._check_monotone(s.value, targets, True)
+
+    def _check_monotone(
+        self, expr: ast.Expr, targets: set, positive: bool
+    ) -> None:
+        if isinstance(expr, ast.VarRef):
+            if not positive and expr.name in targets:
+                raise TypeError_(
+                    f"fix target {expr.name} used non-monotonically "
+                    "(under the right operand of '-')",
+                    expr.pos,
+                )
+        elif isinstance(expr, ast.SetOp):
+            self._check_monotone(expr.left, targets, positive)
+            # Once negative, conservatively stay negative.
+            self._check_monotone(
+                expr.right, targets, positive and expr.op != "-"
+            )
+        elif isinstance(expr, ast.ReplaceOp):
+            self._check_monotone(expr.operand, targets, positive)
+        elif isinstance(expr, ast.JoinOp):
+            self._check_monotone(expr.left, targets, positive)
+            self._check_monotone(expr.right, targets, positive)
 
     def _check_var_init(self, decl: ast.VarDecl, func: Optional[str]) -> None:
         info = self.tp.lookup_var(func, decl.name)

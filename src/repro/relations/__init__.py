@@ -9,30 +9,46 @@ reference-count-managing containers.
 from repro.relations.backend import (
     BDDBackend,
     DiagramBackend,
+    PipelineStep,
     UnsupportedByBackend,
     ZDDBackend,
     make_backend,
 )
 from repro.relations.containers import RelationContainer
-from repro.relations.domain import Attribute, Domain, JeddError, PhysicalDomain, Universe
+from repro.relations.domain import (
+    Attribute,
+    Domain,
+    JeddError,
+    PhysicalDomain,
+    RelationScope,
+    Universe,
+    open_universe,
+)
 from repro.relations.io import load_checkpoint, load_tsv, save_checkpoint, save_tsv
 from repro.relations.relation import Relation, Schema
+from repro.relations.fixpoint import Atom, FixpointEngine, Rule
 
 __all__ = [
+    "Atom",
     "Attribute",
     "BDDBackend",
     "DiagramBackend",
     "Domain",
+    "FixpointEngine",
     "JeddError",
     "PhysicalDomain",
+    "PipelineStep",
     "Relation",
     "RelationContainer",
+    "RelationScope",
+    "Rule",
     "Schema",
     "Universe",
     "UnsupportedByBackend",
     "ZDDBackend",
     "load_checkpoint",
     "load_tsv",
+    "open_universe",
     "save_checkpoint",
     "save_tsv",
     "make_backend",

@@ -14,6 +14,8 @@ other operand's private bits before intersecting.
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Sequence
 
 from repro.bdd import FALSE, TRUE, BDDManager, ZDDManager
@@ -24,9 +26,36 @@ __all__ = [
     "DiagramBackend",
     "BDDBackend",
     "ZDDBackend",
+    "PipelineStep",
     "UnsupportedByBackend",
     "make_backend",
 ]
+
+
+@dataclass(frozen=True)
+class PipelineStep:
+    """One conjunct of a fused relational product (see
+    :meth:`DiagramBackend.relprod_pipeline`).
+
+    ``b`` is the operand diagram; ``b_perm`` aligns it to the running
+    result before the conjunction (attribute -> shared physical domain
+    moves, as a variable permutation).  ``cmp_levels`` /
+    ``a_only_levels`` / ``b_only_levels`` describe the post-alignment
+    level sets exactly as for :meth:`DiagramBackend.match`.
+    ``exist_levels`` are quantified away after the conjunction: the
+    variables dead after this step — not automatically the compared
+    ones, which later conjuncts may still need.  ``perm`` optionally
+    permutes the step's result (e.g. a final move into the consumer's
+    physical domains).
+    """
+
+    b: int
+    cmp_levels: Sequence[int] = ()
+    a_only_levels: Sequence[int] = ()
+    b_only_levels: Sequence[int] = ()
+    exist_levels: Sequence[int] = ()
+    b_perm: Dict[int, int] = field(default_factory=dict)
+    perm: Dict[int, int] = field(default_factory=dict)
 
 
 class UnsupportedByBackend(Exception):
@@ -174,6 +203,39 @@ class DiagramBackend:
         """
         return _NullReorderGuard()
 
+    # Fused relational products -------------------------------------------
+    def relprod_pipeline(self, a: int, steps: Sequence[PipelineStep]) -> int:
+        """Chain join -> project -> rename steps without materialising
+        named intermediates.
+
+        The generic implementation lowers each step to the portable
+        ``match``/``project``/``replace`` primitives; the BDD backend
+        overrides it to fuse each conjunction+quantification into a
+        single ``and_exist`` kernel call.  Intermediate handles are
+        never wrapped in :class:`Relation` objects, so no garbage
+        collection can run between steps; automatic reordering is
+        suppressed for the duration so level sets stay valid.
+        """
+        node = a
+        with self.disable_reorder():
+            for step in steps:
+                b = step.b
+                if step.b_perm:
+                    b = self.replace(b, step.b_perm)
+                node = self.match(
+                    node,
+                    b,
+                    step.cmp_levels,
+                    step.a_only_levels,
+                    step.b_only_levels,
+                    False,
+                )
+                if step.exist_levels:
+                    node = self.project(node, step.exist_levels)
+                if step.perm:
+                    node = self.replace(node, step.perm)
+        return node
+
 
 class BDDBackend(DiagramBackend):
     """Adapter over :class:`repro.bdd.BDDManager` (the BuDDy/CUDD role)."""
@@ -258,6 +320,27 @@ class BDDBackend(DiagramBackend):
     def disable_reorder(self):
         return self.manager.disable_reorder()
 
+    @_traced("bdd.relprod_pipeline", "kernel")
+    def relprod_pipeline(self, a: int, steps: Sequence[PipelineStep]) -> int:
+        # Each step becomes one and_exist (bdd_appex): the conjunction
+        # and the quantification of the step's dead variables share a
+        # single traversal and one cache, which is where the semi-naive
+        # engine's kernel savings come from.
+        m = self.manager
+        node = a
+        with self.disable_reorder():
+            for step in steps:
+                b = step.b
+                if step.b_perm:
+                    b = m.replace(b, step.b_perm)
+                if step.exist_levels:
+                    node = m.and_exist(node, b, step.exist_levels)
+                else:
+                    node = m.apply_and(node, b)
+                if step.perm:
+                    node = m.replace(node, step.perm)
+        return node
+
 
 class ZDDBackend(DiagramBackend):
     """Adapter over :class:`repro.bdd.ZDDManager` (section 4.1's ZDD plan)."""
@@ -326,10 +409,23 @@ class ZDDBackend(DiagramBackend):
         return self.manager.all_sat(a, levels)
 
 
-def make_backend(manager) -> DiagramBackend:
-    """Wrap a manager in the matching adapter."""
+def _backend_for(manager) -> DiagramBackend:
+    """Wrap a manager in the matching adapter (internal)."""
     if isinstance(manager, BDDManager):
         return BDDBackend(manager)
     if isinstance(manager, ZDDManager):
         return ZDDBackend(manager)
     raise TypeError(f"unsupported manager type {type(manager).__name__}")
+
+
+def make_backend(manager) -> DiagramBackend:
+    """Deprecated: construct universes with
+    :func:`repro.relations.open_universe` instead of wrapping managers
+    by hand."""
+    warnings.warn(
+        "make_backend() is deprecated; use repro.relations.open_universe()"
+        " (or Universe/Relation constructors) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _backend_for(manager)

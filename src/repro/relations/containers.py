@@ -46,7 +46,7 @@ class RelationContainer:
         old = self._value
         self._value = value
         if old is not None and old is not value:
-            old.release()
+            old.dispose()
 
     def get(self) -> Relation:
         """The current relation; reading an unset container is an error."""
@@ -68,13 +68,13 @@ class RelationContainer:
         the end of each iteration and refill it in the next.
         """
         if self._value is not None:
-            self._value.release()
+            self._value.dispose()
             self._value = None
 
     def __del__(self) -> None:
         # Finalizer fallback (death case 4); safe if already freed.
         if self._value is not None:
-            self._value.release()
+            self._value.dispose()
 
     def __repr__(self) -> str:
         return f"RelationContainer({self.name!r}, {self._value!r})"

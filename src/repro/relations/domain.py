@@ -21,12 +21,29 @@ hence performance.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.bdd import BDDManager, ZDDManager
-from repro.relations.backend import make_backend
+from repro.relations.backend import _backend_for
 
-__all__ = ["Domain", "Attribute", "PhysicalDomain", "Universe", "JeddError"]
+__all__ = [
+    "Domain",
+    "Attribute",
+    "PhysicalDomain",
+    "RelationScope",
+    "Universe",
+    "JeddError",
+    "open_universe",
+]
 
 
 class JeddError(Exception):
@@ -162,6 +179,7 @@ class Universe:
         self._bit_order_groups: Optional[List[List[str]]] = None
         self.manager: Optional[BDDManager | ZDDManager] = None
         self._scratch_counter = 0
+        self._scopes: List["RelationScope"] = []
 
     def set_bit_order(self, groups: List[List[str]]) -> None:
         """Fix the relative bit ordering of the physical domains.
@@ -378,7 +396,7 @@ class Universe:
         """
         if not self.finalized:
             raise JeddError("finalize() before enabling reordering")
-        make_backend(self.manager).enable_reorder(
+        _backend_for(self.manager).enable_reorder(
             threshold=threshold, max_growth=max_growth
         )
         # Set (or clear) the group policy explicitly so toggling
@@ -392,13 +410,13 @@ class Universe:
         backends without reordering)."""
         if not self.finalized:
             raise JeddError("finalize() before disabling reordering")
-        return make_backend(self.manager).disable_reorder()
+        return _backend_for(self.manager).disable_reorder()
 
     def reorder(self, groups=None, max_growth: Optional[float] = None):
         """Run one reordering pass now; returns the ``ReorderEvent``."""
         if not self.finalized:
             raise JeddError("finalize() before reordering")
-        return make_backend(self.manager).reorder(
+        return _backend_for(self.manager).reorder(
             groups=groups, max_growth=max_growth
         )
 
@@ -445,3 +463,142 @@ class Universe:
             for j in range(src.bits):
                 perm[src.levels[j]] = dst.levels[j]
         return perm
+
+    # ------------------------------------------------------------------
+    # Relation lifetimes and construction
+    # ------------------------------------------------------------------
+
+    def scope(self) -> "RelationScope":
+        """Open a relation lifetime scope.
+
+        Every relation created in this universe while the scope is
+        active is disposed (its diagram reference dropped) when the
+        scope exits, except those passed to
+        :meth:`RelationScope.keep`::
+
+            with u.scope() as sc:
+                temp = a.join(b, ["x"], ["x"])
+                result = sc.keep(temp.project_away("x"))
+            # temp is disposed here; result survives
+
+        Scopes nest: relations register with the innermost active
+        scope.  This replaces the manual ``Relation.release()``
+        protocol.
+        """
+        return RelationScope(self)
+
+    def _note_relation(self, rel) -> None:
+        """Register a newly created relation with the innermost scope."""
+        if self._scopes:
+            self._scopes[-1]._track(rel)
+
+    def empty(self, attributes, physdoms=None):
+        """An empty relation over the named attributes (see
+        :meth:`Relation.empty`)."""
+        from repro.relations.relation import Relation
+
+        return Relation.empty(self, attributes, physdoms)
+
+    def full(self, attributes, physdoms=None):
+        """The full relation over the named attributes."""
+        from repro.relations.relation import Relation
+
+        return Relation.full(self, attributes, physdoms)
+
+    def relation(self, values, physdoms=None):
+        """A one-tuple relation from an ``{attribute: object}`` mapping."""
+        from repro.relations.relation import Relation
+
+        return Relation.from_tuple(self, values, physdoms)
+
+    def relation_of(self, attributes, rows, physdoms=None):
+        """A relation from an iterable of tuples (see
+        :meth:`Relation.from_tuples`)."""
+        from repro.relations.relation import Relation
+
+        return Relation.from_tuples(self, attributes, rows, physdoms)
+
+
+class RelationScope:
+    """Bulk lifetime management for relations (``Universe.scope()``).
+
+    Tracks every relation created in the universe while active; on exit
+    each tracked relation is disposed unless it was passed to
+    :meth:`keep`.  Disposal only drops diagram references — the next
+    garbage collection reclaims the nodes.
+    """
+
+    def __init__(self, universe: Universe) -> None:
+        self.universe = universe
+        self._tracked: List[Any] = []
+        self._kept: set = set()
+
+    def _track(self, rel) -> None:
+        self._tracked.append(rel)
+
+    def keep(self, rel):
+        """Exempt ``rel`` from disposal at scope exit; returns it."""
+        self._kept.add(id(rel))
+        return rel
+
+    def __enter__(self) -> "RelationScope":
+        self.universe._scopes.append(self)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        stack = self.universe._scopes
+        if self in stack:
+            stack.remove(self)
+        for rel in self._tracked:
+            if id(rel) not in self._kept:
+                rel.dispose()
+        self._tracked.clear()
+        self._kept.clear()
+        return False
+
+
+def open_universe(
+    backend: str = "bdd",
+    order: str = "interleaved",
+    *,
+    domains: Optional[Dict[str, int]] = None,
+    attributes: Optional[Dict[str, str]] = None,
+    physdoms: Optional[Dict[str, int]] = None,
+    bit_order: Optional[Sequence[Sequence[str]]] = None,
+    finalize: Optional[bool] = None,
+) -> Universe:
+    """One-stop factory for a configured universe.
+
+    Unifies the previously scattered entry points (``make_backend``,
+    ``Universe(...)``, per-relation constructors)::
+
+        u = open_universe(
+            backend="bdd",
+            domains={"Var": 64, "Obj": 64},
+            attributes={"var": "Var", "obj": "Obj"},
+            physdoms={"V1": 6, "H1": 6},
+        )
+        pt = u.empty(["var", "obj"], ["V1", "H1"])
+
+    ``domains`` maps name -> max size; ``attributes`` maps name ->
+    domain name; ``physdoms`` maps name -> bit width; ``bit_order``
+    optionally fixes the relative bit ordering (groups of physical
+    domain names, as for :meth:`Universe.set_bit_order`).  The universe
+    is finalized automatically when any physical domains were declared
+    (override with ``finalize=``); declare-then-finalize manually for
+    more complex setups.
+    """
+    u = Universe(backend=backend, ordering=order)
+    for name, size in (domains or {}).items():
+        u.domain(name, size)
+    for name, dom_name in (attributes or {}).items():
+        u.attribute(name, u.get_domain(dom_name))
+    for name, bits in (physdoms or {}).items():
+        u.physical_domain(name, bits)
+    if bit_order is not None:
+        u.set_bit_order([list(g) for g in bit_order])
+    if finalize is None:
+        finalize = bool(physdoms)
+    if finalize:
+        u.finalize()
+    return u

@@ -31,6 +31,7 @@ them with the profiler so they can be tuned away (section 4.3).
 
 from __future__ import annotations
 
+import warnings
 from typing import (
     Dict,
     Hashable,
@@ -42,7 +43,11 @@ from typing import (
     Tuple,
 )
 
-from repro.relations.backend import DiagramBackend, make_backend
+from repro.relations.backend import (
+    DiagramBackend,
+    PipelineStep,
+    _backend_for,
+)
 from repro.telemetry import traced as _traced
 from repro.relations.domain import (
     Attribute,
@@ -52,6 +57,114 @@ from repro.relations.domain import (
 )
 
 __all__ = ["Relation", "Schema"]
+
+
+def _free_physdom(
+    universe: Universe, width: int, banned: Iterable[PhysicalDomain]
+) -> PhysicalDomain:
+    """A physical domain of ``width`` bits not in ``banned``."""
+    banned_names = {pd.name for pd in banned}
+    for pd in universe.physical_domains():
+        if pd.bits == width and pd.name not in banned_names:
+            return pd
+    return universe.scratch_physdom(width)
+
+
+class _MatchPlan:
+    """The alignment a join/compose needs, without materialising it.
+
+    ``targets`` maps the other operand's attribute names to the
+    physical domains they must move to; ``moves``/``aligned_pairs`` are
+    the same information as physdom moves and as the operand's
+    post-move schema pairs.  Level sets are as for
+    :meth:`DiagramBackend.match`.
+    """
+
+    __slots__ = (
+        "targets", "moves", "aligned_pairs", "cmp_levels", "a_only", "b_only"
+    )
+
+    def __init__(self, targets, moves, aligned_pairs,
+                 cmp_levels, a_only, b_only):
+        self.targets = targets
+        self.moves = moves
+        self.aligned_pairs = aligned_pairs
+        self.cmp_levels = cmp_levels
+        self.a_only = a_only
+        self.b_only = b_only
+
+
+def _plan_match(
+    universe: Universe,
+    self_pairs: Sequence[Tuple[Attribute, PhysicalDomain]],
+    other: "Relation",
+    self_attrs: Sequence[str],
+    other_attrs: Sequence[str],
+    op: str,
+) -> _MatchPlan:
+    """Validate a match and plan the other operand's alignment.
+
+    The left side is given as schema pairs rather than a relation so
+    the fused pipeline can thread its evolving intermediate schema
+    through without wrapping nodes in relations.
+    """
+    by_name = {attr.name: (attr, pd) for attr, pd in self_pairs}
+    if len(self_attrs) != len(other_attrs):
+        raise JeddError(f"{op}: attribute lists differ in length")
+    if len(set(self_attrs)) != len(self_attrs) or len(
+        set(other_attrs)
+    ) != len(other_attrs):
+        raise JeddError(f"{op}: repeated attribute in comparison list")
+    for name in self_attrs:
+        if name not in by_name:
+            raise JeddError(f"{op}: {name!r} not in left schema")
+    for name in other_attrs:
+        if name not in other.schema:
+            raise JeddError(f"{op}: {name!r} not in right schema")
+    for a, b in zip(self_attrs, other_attrs):
+        da = by_name[a][0].domain
+        db = other.schema.attribute(b).domain
+        if da is not db:
+            raise JeddError(
+                f"{op}: cannot compare {a} ({da.name}) with "
+                f"{b} ({db.name})"
+            )
+    # Move the compared attributes of `other` into the left side's
+    # physical domains, and its private attributes out of any domain
+    # the left side uses.
+    targets: Dict[str, PhysicalDomain] = {}
+    for a, b in zip(self_attrs, other_attrs):
+        targets[b] = by_name[a][1]
+    self_pds = {pd.name for _, pd in self_pairs}
+    used = [pd for _, pd in self_pairs]
+    used.extend(pd for _, pd in other.schema.pairs)
+    used.extend(targets.values())
+    for attr, pd in other.schema.pairs:
+        if attr.name in targets:
+            continue
+        if pd.name in self_pds:
+            fresh = _free_physdom(universe, pd.bits, used)
+            targets[attr.name] = fresh
+            used.append(fresh)
+    moves = []
+    aligned_pairs: List[Tuple[Attribute, PhysicalDomain]] = []
+    for attr, pd in other.schema.pairs:
+        tgt = targets.get(attr.name, pd)
+        aligned_pairs.append((attr, tgt))
+        if tgt is not pd:
+            moves.append((pd, tgt))
+    cmp_levels: List[int] = []
+    for a in self_attrs:
+        cmp_levels.extend(by_name[a][1].levels)
+    cmp_set = set(cmp_levels)
+    a_only = [
+        l for _, pd in self_pairs for l in pd.levels if l not in cmp_set
+    ]
+    b_only = [
+        l for _, pd in aligned_pairs for l in pd.levels if l not in cmp_set
+    ]
+    return _MatchPlan(targets, moves, aligned_pairs,
+                      cmp_levels, a_only, b_only)
 
 
 class Schema:
@@ -129,10 +242,12 @@ class Relation:
     """An immutable relation value.
 
     Construct relations with the classmethods (:meth:`empty`,
-    :meth:`full`, :meth:`from_tuple`, :meth:`from_tuples`) and combine
-    them with the operators.  A relation holds a reference-counted
-    diagram node; the count is released when the Python object dies, and
-    eagerly by :class:`repro.relations.containers.RelationContainer`.
+    :meth:`full`, :meth:`from_tuple`, :meth:`from_tuples`) — or the
+    ``Universe`` conveniences — and combine them with the operators.  A
+    relation holds a reference-counted diagram node; the count is
+    dropped when the Python object dies, when the enclosing
+    :meth:`Universe.scope` exits, or eagerly via :meth:`dispose` (also
+    available as a ``with`` block).
     """
 
     __slots__ = ("universe", "backend", "schema", "node", "_released")
@@ -149,22 +264,51 @@ class Relation:
         backend: Optional[DiagramBackend] = None,
     ) -> None:
         self.universe = universe
-        self.backend = backend or make_backend(universe.manager)
+        self.backend = backend or _backend_for(universe.manager)
         self.schema = schema
         self.node = self.backend.ref(node)
         self._released = False
+        universe._note_relation(self)
 
     def __del__(self) -> None:
-        self.release()
+        self.dispose()
 
-    def release(self) -> None:
-        """Drop this relation's node reference (idempotent)."""
+    def dispose(self) -> None:
+        """Drop this relation's node reference (idempotent).
+
+        The relation must not be used afterwards: the next garbage
+        collection may reclaim its nodes.  Usually there is no need to
+        call this directly — use :meth:`Universe.scope` (or a ``with``
+        block over the relation) for deterministic bulk release.
+        """
         if not self._released:
             self._released = True
             try:
                 self.backend.deref(self.node)
             except Exception:
                 pass  # interpreter shutdown may have torn down the manager
+
+    def release(self) -> None:
+        """Deprecated alias of :meth:`dispose`."""
+        warnings.warn(
+            "Relation.release() is deprecated; use dispose(), a `with`"
+            " block, or Universe.scope()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.dispose()
+
+    @property
+    def disposed(self) -> bool:
+        """Whether this relation's node reference has been dropped."""
+        return self._released
+
+    def __enter__(self) -> "Relation":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.dispose()
+        return False
 
     def _wrap(self, schema: Schema, node: int) -> "Relation":
         rel = Relation(self.universe, schema, node, self.backend)
@@ -208,7 +352,7 @@ class Relation:
     ) -> "Relation":
         """The constant ``0B`` at a concrete schema."""
         schema = cls._make_schema(universe, attributes, physdoms)
-        backend = make_backend(universe.manager)
+        backend = _backend_for(universe.manager)
         return cls(universe, schema, backend.empty(), backend)
 
     @classmethod
@@ -220,7 +364,7 @@ class Relation:
     ) -> "Relation":
         """The constant ``1B`` (all possible tuples) at a concrete schema."""
         schema = cls._make_schema(universe, attributes, physdoms)
-        backend = make_backend(universe.manager)
+        backend = _backend_for(universe.manager)
         return cls(universe, schema, backend.full(schema.levels()), backend)
 
     @classmethod
@@ -246,7 +390,7 @@ class Relation:
                     )
                 pd_list.append(pd)
         schema = cls._make_schema(universe, attrs, pd_list)
-        backend = make_backend(universe.manager)
+        backend = _backend_for(universe.manager)
         assignment: Dict[int, bool] = {}
         for (attr, pd), obj in zip(schema.pairs, values.values()):
             assignment.update(
@@ -264,7 +408,7 @@ class Relation:
     ) -> "Relation":
         """Bulk constructor: union of one-tuple literals, but in one pass."""
         schema = cls._make_schema(universe, attributes, physdoms)
-        backend = make_backend(universe.manager)
+        backend = _backend_for(universe.manager)
         node = backend.empty()
         for row in rows:
             if len(row) != len(schema):
@@ -326,11 +470,7 @@ class Relation:
         self, width: int, banned: Iterable[PhysicalDomain]
     ) -> PhysicalDomain:
         """A physical domain of ``width`` bits not in ``banned``."""
-        banned_names = {pd.name for pd in banned}
-        for pd in self.universe.physical_domains():
-            if pd.bits == width and pd.name not in banned_names:
-                return pd
-        return self.universe.scratch_physdom(width)
+        return _free_physdom(self.universe, width, banned)
 
     # ------------------------------------------------------------------
     # Set operations ([SetOp], [Assign], [Compare] of Figure 6)
@@ -385,6 +525,15 @@ class Relation:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Relation):
             return NotImplemented
+        if (
+            self.universe is not other.universe
+            or type(self.backend) is not type(other.backend)
+        ):
+            # Nodes of different universes/backends are not comparable;
+            # returning NotImplemented (rather than raising out of the
+            # alignment machinery) lets Python fall back to identity,
+            # so mixed comparisons are False instead of an error.
+            return NotImplemented
         if self.schema.name_set() != other.schema.name_set():
             return False
         aligned = self._align_to(other)
@@ -397,7 +546,10 @@ class Relation:
         return not result
 
     def __hash__(self) -> int:
-        return hash(self.schema.name_set())
+        # Equal relations share a universe, so including its identity
+        # keeps the hash/eq contract while separating same-named
+        # schemas from unrelated universes.
+        return hash((id(self.universe), self.schema.name_set()))
 
     def is_empty(self) -> bool:
         """Constant-time emptiness test (``x == 0B``)."""
@@ -546,50 +698,12 @@ class Relation:
         other_attrs: Sequence[str],
         op: str,
     ) -> Tuple["Relation", List[int], List[int], List[int]]:
-        if len(self_attrs) != len(other_attrs):
-            raise JeddError(f"{op}: attribute lists differ in length")
-        if len(set(self_attrs)) != len(self_attrs) or len(
-            set(other_attrs)
-        ) != len(other_attrs):
-            raise JeddError(f"{op}: repeated attribute in comparison list")
-        for name in self_attrs:
-            if name not in self.schema:
-                raise JeddError(f"{op}: {name!r} not in left schema")
-        for name in other_attrs:
-            if name not in other.schema:
-                raise JeddError(f"{op}: {name!r} not in right schema")
-        for a, b in zip(self_attrs, other_attrs):
-            da = self.schema.attribute(a).domain
-            db = other.schema.attribute(b).domain
-            if da is not db:
-                raise JeddError(
-                    f"{op}: cannot compare {a} ({da.name}) with "
-                    f"{b} ({db.name})"
-                )
-        # Move the compared attributes of `other` into our physical
-        # domains, and its private attributes out of any domain we use.
-        targets: Dict[str, PhysicalDomain] = {}
-        for a, b in zip(self_attrs, other_attrs):
-            targets[b] = self.schema.physdom(a)
-        self_pds = {pd.name for _, pd in self.schema.pairs}
-        used = [pd for _, pd in self.schema.pairs]
-        used.extend(pd for _, pd in other.schema.pairs)
-        used.extend(targets.values())
-        for attr, pd in other.schema.pairs:
-            if attr.name in targets:
-                continue
-            if pd.name in self_pds:
-                fresh = self._free_physdom(pd.bits, used)
-                targets[attr.name] = fresh
-                used.append(fresh)
-        aligned = other.replace(targets)
-        cmp_levels: List[int] = []
-        for a in self_attrs:
-            cmp_levels.extend(self.schema.physdom(a).levels)
-        cmp_set = set(cmp_levels)
-        a_only = [l for l in self.schema.levels() if l not in cmp_set]
-        b_only = [l for l in aligned.schema.levels() if l not in cmp_set]
-        return aligned, cmp_levels, a_only, b_only
+        plan = _plan_match(
+            self.universe, self.schema.pairs, other,
+            self_attrs, other_attrs, op,
+        )
+        aligned = other.replace(plan.targets)
+        return aligned, plan.cmp_levels, plan.a_only, plan.b_only
 
     @_traced("relation.join", "relation")
     def join(
@@ -661,6 +775,95 @@ class Relation:
             if attr.name not in compared:
                 new_pairs.append((attr, pd))
         return self._wrap(Schema(new_pairs), node)
+
+    @_traced("relation.compose_pipeline", "relation")
+    def compose_pipeline(
+        self,
+        steps: Sequence[Tuple["Relation", Sequence[str], Sequence[str]]],
+    ) -> "Relation":
+        """Fused multi-way relational product.
+
+        ``steps`` is a sequence of ``(other, on, drop)`` triples: at
+        each step the running result is matched with ``other`` on the
+        attribute names ``on`` (present under the same name on both
+        sides), then the attributes in ``drop`` are projected away.
+        Only attributes no later step (and no consumer) needs should be
+        dropped — shared attributes are *not* quantified automatically
+        the way :meth:`compose` does.
+
+        On the BDD backend each step lowers to a single fused
+        ``and_exist`` kernel call plus at most one variable permutation
+        (:meth:`DiagramBackend.relprod_pipeline`); no intermediate
+        relations are materialised.  This is the workhorse of the
+        semi-naive fixpoint engine's rule bodies.
+        """
+        cur_pairs: List[Tuple[Attribute, PhysicalDomain]] = list(
+            self.schema.pairs
+        )
+        plan_steps: List[PipelineStep] = []
+        for other, on, drop in steps:
+            if not isinstance(other, Relation):
+                raise TypeError(
+                    f"compose_pipeline: not a relation: {other!r}"
+                )
+            if other.universe is not self.universe or type(
+                other.backend
+            ) is not type(self.backend):
+                raise JeddError(
+                    "compose_pipeline: operands come from different "
+                    "universes/backends"
+                )
+            on = list(on)
+            drop = list(drop)
+            cur_names = {attr.name for attr, _ in cur_pairs}
+            overlap = (
+                other.schema.name_set() - frozenset(on)
+            ) & cur_names
+            if overlap:
+                raise JeddError(
+                    f"compose_pipeline: attributes {sorted(overlap)} "
+                    "appear on both sides"
+                )
+            plan = _plan_match(
+                self.universe, cur_pairs, other, on, on,
+                "compose_pipeline",
+            )
+            on_set = set(on)
+            combined = cur_pairs + [
+                (attr, pd)
+                for attr, pd in plan.aligned_pairs
+                if attr.name not in on_set
+            ]
+            drop_set = set(drop)
+            missing = drop_set - {attr.name for attr, _ in combined}
+            if missing:
+                raise JeddError(
+                    f"compose_pipeline: cannot drop {sorted(missing)}: "
+                    "not in the combined schema"
+                )
+            exist_levels = [
+                l
+                for attr, pd in combined
+                if attr.name in drop_set
+                for l in pd.levels
+            ]
+            plan_steps.append(
+                PipelineStep(
+                    b=other.node,
+                    cmp_levels=plan.cmp_levels,
+                    a_only_levels=plan.a_only,
+                    b_only_levels=plan.b_only,
+                    exist_levels=exist_levels,
+                    b_perm=self.universe.move_permutation(plan.moves),
+                )
+            )
+            cur_pairs = [
+                (attr, pd)
+                for attr, pd in combined
+                if attr.name not in drop_set
+            ]
+        node = self.backend.relprod_pipeline(self.node, plan_steps)
+        return self._wrap(Schema(cur_pairs), node)
 
     def select(self, values: Dict[str, Hashable]) -> "Relation":
         """Selection: tuples with the given objects in certain attributes.

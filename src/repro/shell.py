@@ -60,6 +60,10 @@ class RelationalShell(cmd.Cmd):
         self.universe: Optional[Universe] = None
         self._pending = Universe()
         self.relations: Dict[str, Relation] = {}
+        #: id(VarRef node) -> delta relation, set while a `fix` command
+        #: evaluates a rule semi-naively (the shell's ASTs carry no
+        #: expr_ids, so occurrences are keyed by node identity).
+        self._fix_override: Dict[int, Relation] = {}
 
     # -- helpers -----------------------------------------------------------
 
@@ -200,6 +204,111 @@ class RelationalShell(cmd.Cmd):
             raise _ShellError(f"bad relation name {name!r}")
         self.relations[name] = self._eval(source.strip())
 
+    def do_fix(self, arg: str) -> None:
+        """fix NAME |= EXPR [; NAME |= EXPR ...] -- saturate the rules
+        to a least fixed point with semi-naive (delta) evaluation, like
+        the mini-language's `fix { ... }` block."""
+        source = arg.strip()
+        if source.startswith("{") and source.endswith("}"):
+            source = source[1:-1].strip()
+        rules = []
+        for piece in source.split(";"):
+            piece = piece.strip()
+            if not piece:
+                continue
+            if "|=" not in piece:
+                raise _ShellError(
+                    "fix rules must be `NAME |= EXPR` (only `|=` keeps "
+                    "the iteration monotone)"
+                )
+            name, _, rhs = piece.partition("|=")
+            name = name.strip()
+            if not name.isidentifier():
+                raise _ShellError(f"bad relation name {name!r}")
+            rules.append((name, parse_expression(rhs.strip())))
+        if not rules:
+            raise _ShellError("usage: fix NAME |= EXPR [; NAME |= EXPR ...]")
+        targets = []
+        for name, _ in rules:
+            if name not in targets:
+                targets.append(name)
+        for name, expr in rules:
+            self._check_monotone(expr, set(targets), True)
+        self._run_fix(targets, rules)
+
+    def _check_monotone(
+        self, expr: ast.Expr, targets: set, positive: bool
+    ) -> None:
+        if isinstance(expr, ast.VarRef):
+            if expr.name in targets and not positive:
+                raise _ShellError(
+                    f"fix target {expr.name!r} used non-monotonically "
+                    "(under the right operand of '-')"
+                )
+        elif isinstance(expr, ast.SetOp):
+            self._check_monotone(expr.left, targets, positive)
+            self._check_monotone(
+                expr.right, targets, positive and expr.op != "-"
+            )
+        elif isinstance(expr, ast.JoinOp):
+            self._check_monotone(expr.left, targets, positive)
+            self._check_monotone(expr.right, targets, positive)
+        elif isinstance(expr, ast.ReplaceOp):
+            self._check_monotone(expr.operand, targets, positive)
+
+    def _run_fix(self, targets: List[str], rules: List[tuple]) -> None:
+        tel = telemetry.active()
+        full = {t: self._lookup(t) for t in targets}
+        delta = dict(full)
+        refs_of = [
+            [r for r in ast.walk_var_refs(expr) if r.name in full]
+            for _, expr in rules
+        ]
+        iteration = 0
+        while any(not delta[t].is_empty() for t in targets):
+            iteration += 1
+            span_args = {"iteration": iteration}
+            if tel.enabled:
+                for t in targets:
+                    span_args[f"delta_{t}"] = delta[t].size()
+            with tel.span("fix.iteration", cat="fixpoint", **span_args):
+                acc: Dict[str, Optional[Relation]] = {t: None for t in targets}
+
+                def merge(name: str, value: Relation) -> None:
+                    acc[name] = (
+                        value if acc[name] is None else acc[name] | value
+                    )
+
+                for (name, expr), refs in zip(rules, refs_of):
+                    if not refs:
+                        # Static rule: contributes once, then stabilises.
+                        if iteration == 1:
+                            merge(name, self._eval_ast(expr))
+                        continue
+                    # One evaluation per occurrence of a fixed variable,
+                    # with that occurrence bound to its delta.
+                    for ref in refs:
+                        if delta[ref.name].is_empty():
+                            continue
+                        self._fix_override[id(ref)] = delta[ref.name]
+                        try:
+                            merge(name, self._eval_ast(expr))
+                        finally:
+                            del self._fix_override[id(ref)]
+                for t in targets:
+                    if acc[t] is None:
+                        delta[t] = full[t] - full[t]
+                        continue
+                    fresh = acc[t] - full[t]
+                    delta[t] = fresh
+                    if not fresh.is_empty():
+                        full[t] = full[t] | fresh
+                        self.relations[t] = full[t]
+        self._say(
+            f"fixed point after {iteration} iteration(s): "
+            + ", ".join(f"{t}={full[t].size()}" for t in targets)
+        )
+
     def do_print(self, arg: str) -> None:
         """print EXPR -- show a relation's tuples."""
         self._say(str(self._eval(arg.strip())))
@@ -303,6 +412,9 @@ class RelationalShell(cmd.Cmd):
     def _eval_ast(self, expr: ast.Expr) -> Relation:
         u = self._need_finalized()
         if isinstance(expr, ast.VarRef):
+            override = self._fix_override.get(id(expr))
+            if override is not None:
+                return override
             return self._lookup(expr.name)
         if isinstance(expr, ast.ConstRel):
             raise _ShellError(

@@ -395,3 +395,42 @@ class TestToDot:
     def test_dot_terminal_only(self, m):
         dot = m.to_dot(TRUE)
         assert 'label="1"' in dot
+
+
+class TestCacheLimit:
+    def test_default_is_unbounded(self):
+        m = BDDManager(4)
+        assert m.cache_limit is None
+
+    def test_bounded_cache_clears_at_limit(self):
+        m = BDDManager(8, cache_limit=4)
+        for i in range(0, 8, 2):
+            m.apply_and(m.var(i), m.var(i + 1))
+        assert len(m._apply_cache) <= 4
+
+    def test_bounded_cache_preserves_results(self):
+        bounded = BDDManager(8, cache_limit=2)
+        free = BDDManager(8)
+        for mgr in (bounded, free):
+            f = mgr.apply_or(
+                mgr.apply_and(mgr.var(0), mgr.var(3)),
+                mgr.apply_and(mgr.var(5), mgr.nvar(6)),
+            )
+            mgr.result = mgr.sat_count(f, range(8))
+        assert bounded.result == free.result
+
+    def test_eviction_forces_recomputation(self):
+        m = BDDManager(8, cache_limit=1)
+        f, g = m.var(0), m.var(1)
+        m.apply_and(f, g)
+        before = m.stats.op_misses[:]
+        m.apply_and(m.var(2), m.var(3))  # evicts the (f, g) entry
+        m.apply_and(f, g)
+        assert m.stats.op_misses > before
+
+    def test_limit_is_mutable_at_runtime(self):
+        m = BDDManager(8)
+        m.apply_and(m.var(0), m.var(1))
+        m.cache_limit = 1
+        m.apply_and(m.var(2), m.var(3))
+        assert len(m._apply_cache) <= 1

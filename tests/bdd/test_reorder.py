@@ -353,9 +353,9 @@ class TestAutoReorder:
 
 class TestBackendSurface:
     def test_zdd_backend_raises_unsupported(self):
-        from repro.relations import make_backend
+        from repro.relations.backend import _backend_for
 
-        backend = make_backend(ZDDManager(4))
+        backend = _backend_for(ZDDManager(4))
         assert not backend.supports_reorder()
         with pytest.raises(UnsupportedByBackend):
             backend.reorder()

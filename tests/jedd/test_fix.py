@@ -1,0 +1,205 @@
+"""Tests for the ``fix { ... }`` statement: parsing, type checking,
+semi-naive interpretation, code generation, and telemetry."""
+
+import pytest
+
+from repro import telemetry
+from repro.jedd import ast
+from repro.jedd.codegen import generate
+from repro.jedd.compiler import compile_source
+from repro.jedd.lexer import tokenize
+from repro.jedd.parser import ParseError, parse_program
+from repro.jedd.pretty import pretty_program
+from repro.jedd.typecheck import TypeError_
+from repro.jedd.typecheck import check as typecheck
+from repro.relations import Relation
+
+# Transitive closure needs a third physical domain for the join
+# comparison (path.dst is pinned to N2 and path/edge carry N1/N2
+# attributes on both sides) -- the assigner routes the compare through
+# N3 and inserts the replaces itself.
+HEADER = """
+domain Node 16;
+attribute src : Node;
+attribute dst : Node;
+physdom N1 4;
+physdom N2 4;
+physdom N3 4;
+
+<src:N3, dst:N2> edge;
+<src:N1, dst:N2> path = 0B;
+"""
+
+FIX_SRC = HEADER + """
+def close() {
+  path |= edge;
+  fix {
+    path |= path{dst} <> edge{src};
+  }
+}
+"""
+
+WHILE_SRC = HEADER + """
+def close() {
+  path |= edge;
+  <src:N1, dst:N2> old = 0B;
+  while (path != old) {
+    old = path;
+    path |= path{dst} <> edge{src};
+  }
+}
+"""
+
+EDGES = [(0, 1), (1, 2), (2, 3), (3, 4), (5, 6), (6, 5), (2, 7)]
+
+
+def closure_oracle(edges):
+    closure = set(edges)
+    changed = True
+    while changed:
+        changed = False
+        for a, b in list(closure):
+            for c, d in list(closure):
+                if b == c and (a, d) not in closure:
+                    closure.add((a, d))
+                    changed = True
+    return closure
+
+
+def run_interp(src, backend):
+    cp = compile_source(src)
+    it = cp.interpreter(backend=backend)
+    it.set_global("edge", it.relation_of(["src", "dst"], EDGES))
+    it.call("close")
+    rel = it.global_relation("path")
+    names = rel.schema.names()
+    i, j = names.index("src"), names.index("dst")
+    return sorted((t[i], t[j]) for t in rel.tuples())
+
+
+class TestSyntax:
+    def test_fix_is_a_keyword(self):
+        tokens = list(tokenize("fix { }"))
+        assert tokens[0].kind == "keyword" and tokens[0].text == "fix"
+
+    def test_parse_builds_fixstmt(self):
+        prog = parse_program(FIX_SRC)
+        func = [d for d in prog.decls if isinstance(d, ast.FuncDecl)][0]
+        fixes = [s for s in func.body.stmts if isinstance(s, ast.FixStmt)]
+        assert len(fixes) == 1
+        assert all(isinstance(s, ast.AssignStmt) for s in fixes[0].body)
+
+    def test_empty_fix_block_rejected(self):
+        with pytest.raises(ParseError, match="empty fix block"):
+            parse_program(HEADER + "def f() { fix { } }")
+
+    def test_non_assignment_in_fix_rejected(self):
+        with pytest.raises(ParseError, match="only assignment"):
+            parse_program(
+                HEADER + "def f() { fix { print(path); } }"
+            )
+
+    def test_pretty_round_trip(self):
+        p1 = parse_program(FIX_SRC)
+        text = pretty_program(p1)
+        assert "fix {" in text
+        p2 = parse_program(text)
+        assert pretty_program(p2) == text
+
+
+class TestTypecheck:
+    def test_plain_assign_in_fix_rejected(self):
+        src = HEADER + "def f() { fix { path = edge; } }"
+        with pytest.raises(TypeError_, match="'\\|='"):
+            typecheck(parse_program(src))
+
+    def test_minus_assign_in_fix_rejected(self):
+        src = HEADER + "def f() { fix { path -= edge; } }"
+        with pytest.raises(TypeError_, match="'\\|='"):
+            typecheck(parse_program(src))
+
+    def test_nonmonotone_use_rejected(self):
+        src = HEADER + "def f() { fix { path |= edge - path; } }"
+        with pytest.raises(TypeError_, match="non-monotonically"):
+            typecheck(parse_program(src))
+
+    def test_target_on_left_of_minus_allowed(self):
+        src = HEADER + "def f() { fix { path |= (path - edge) | edge; } }"
+        typecheck(parse_program(src))  # monotone: target not under rhs of -
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("backend", ["bdd", "zdd"])
+    def test_fix_equals_while_loop(self, backend):
+        assert run_interp(FIX_SRC, backend) == run_interp(WHILE_SRC, backend)
+
+    def test_fix_matches_oracle(self):
+        assert run_interp(FIX_SRC, "bdd") == sorted(closure_oracle(EDGES))
+
+    def test_fix_with_empty_input(self):
+        cp = compile_source(FIX_SRC)
+        it = cp.interpreter(backend="bdd")
+        it.set_global("edge", it.relation_of(["src", "dst"], []))
+        it.call("close")
+        assert it.global_relation("path").is_empty()
+
+    @pytest.mark.parametrize("backend", ["bdd", "zdd"])
+    def test_codegen_parity(self, backend):
+        cp = compile_source(FIX_SRC)
+        code = generate(cp.tp, cp.assignment)
+        ns = {}
+        exec(compile(code, "<jeddc-generated>", "exec"), ns)
+        prog = ns["Program"](backend=backend)
+        u = prog.universe
+        prog.edge.set(
+            Relation.from_tuples(u, ["src", "dst"], EDGES, ["N3", "N2"])
+        )
+        prog.close()
+        rel = prog.path.get()
+        names = rel.schema.names()
+        i, j = names.index("src"), names.index("dst")
+        got = sorted((t[i], t[j]) for t in rel.tuples())
+        assert got == run_interp(FIX_SRC, backend)
+
+    def test_generated_code_contains_delta_loop(self):
+        cp = compile_source(FIX_SRC)
+        code = generate(cp.tp, cp.assignment)
+        assert "_delta_" in code and "_full_" in code
+
+
+class TestTelemetry:
+    def test_fix_iteration_spans(self):
+        tel = telemetry.enable()
+        try:
+            cp = compile_source(FIX_SRC)
+            it = cp.interpreter(backend="bdd")
+            it.set_global("edge", it.relation_of(["src", "dst"], EDGES))
+            it.call("close")
+            spans = [
+                s for s in tel.tracer.spans if s.name == "fix.iteration"
+            ]
+        finally:
+            telemetry.disable()
+        assert spans
+        assert spans[0].args["iteration"] == 1
+        assert "delta_path" in spans[0].args
+        # Deltas shrink to empty: the last iteration discovers nothing.
+        iters = [s.args["iteration"] for s in spans]
+        assert iters == sorted(iters)
+
+    def test_spans_export_to_chrome_trace(self, tmp_path):
+        tel = telemetry.enable()
+        try:
+            cp = compile_source(FIX_SRC)
+            it = cp.interpreter(backend="bdd")
+            it.set_global("edge", it.relation_of(["src", "dst"], EDGES))
+            it.call("close")
+            out = tmp_path / "trace.json"
+            tel.write_chrome_trace(str(out))
+        finally:
+            telemetry.disable()
+        import json
+
+        events = json.loads(out.read_text())
+        evs = events["traceEvents"] if isinstance(events, dict) else events
+        assert any(e.get("name") == "fix.iteration" for e in evs)

@@ -95,12 +95,12 @@ class TestReferenceCounting:
         r = one_tuple(u, "v1")  # distinct node from terminals
         assert u.manager.ref_count(r.node) >= 1
 
-    def test_release_is_idempotent(self):
+    def test_dispose_is_idempotent(self):
         u = make_universe()
         r = one_tuple(u, "v1")
         before = u.manager.ref_count(r.node)
-        r.release()
-        r.release()
+        r.dispose()
+        r.dispose()
         assert u.manager.ref_count(r.node) == before - 1
 
     def test_dead_temporaries_are_collectable(self):

@@ -368,10 +368,10 @@ class TestEdgeCases:
         text = repr(r)
         assert "2 tuples" in text
 
-    def test_release_makes_later_gc_safe(self, u):
+    def test_dispose_makes_later_gc_safe(self, u):
         r = rel(u, ["type"], [("A",)], ["T1"])
         node = r.node
-        r.release()
+        r.dispose()
         u.manager.gc()
         # building the same relation again works fine
         again = rel(u, ["type"], [("A",)], ["T1"])

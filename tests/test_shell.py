@@ -162,6 +162,107 @@ class TestErrors:
         assert out.strip().endswith("2")
 
 
+FIX_SETUP = [
+    "domain Node 16",
+    "attribute src : Node",
+    "attribute dst : Node",
+    "attribute mid : Node",
+    "physdom N1 4",
+    "physdom N2 4",
+    "finalize",
+    "rel edge src:N1 dst:N2",
+    "insert edge a b",
+    "insert edge b c",
+    "insert edge c d",
+    "insert edge x y",
+    "insert edge y x",
+    "rel path src:N1 dst:N2",
+    "let path = path | edge",
+]
+
+FIX_RULE = "fix path |= ((dst=>mid) path){mid} <> ((src=>mid) edge){mid}"
+
+
+def fix_script(extra, setup=None):
+    out = io.StringIO()
+    shell = run_script((setup or FIX_SETUP) + extra, stdout=out)
+    return shell, out.getvalue()
+
+
+class TestFixCommand:
+    def closure(self):
+        edges = {("a", "b"), ("b", "c"), ("c", "d"), ("x", "y"), ("y", "x")}
+        closure = set(edges)
+        changed = True
+        while changed:
+            changed = False
+            for a, b in list(closure):
+                for c, d in list(closure):
+                    if b == c and (a, d) not in closure:
+                        closure.add((a, d))
+                        changed = True
+        return closure
+
+    def test_fix_reaches_transitive_closure(self):
+        shell, out = fix_script([FIX_RULE])
+        assert "fixed point after" in out
+        rel = shell.relations["path"]
+        names = rel.schema.names()
+        i, j = names.index("src"), names.index("dst")
+        got = {(t[i], t[j]) for t in rel.tuples()}
+        assert got == self.closure()
+
+    def test_fix_reports_iterations_and_size(self):
+        shell, out = fix_script([FIX_RULE])
+        assert "path=10" in out
+
+    def test_fix_is_idempotent_at_fixed_point(self):
+        shell, out = fix_script([FIX_RULE, FIX_RULE])
+        assert out.count("fixed point after") == 2
+        assert "after 1 iteration(s)" in out.splitlines()[-1]
+
+    def test_fix_braced_multi_rule(self):
+        shell, out = fix_script(
+            ["fix { path |= ((dst=>mid) path){mid} <> ((src=>mid) edge){mid};"
+             " path |= edge }"]
+        )
+        rel = shell.relations["path"]
+        names = rel.schema.names()
+        i, j = names.index("src"), names.index("dst")
+        assert {(t[i], t[j]) for t in rel.tuples()} == self.closure()
+
+    def test_fix_rejects_nonmonotone_rule(self):
+        shell, out = fix_script(["fix path |= edge - path"])
+        assert "non-monotonically" in out
+
+    def test_fix_rejects_non_update_rules(self):
+        shell, out = fix_script(["fix path = edge"])
+        assert "error" in out and "|=" in out
+
+    def test_fix_unknown_relation(self):
+        shell, out = fix_script(["fix nosuch |= edge"])
+        assert "no relation" in out
+
+    def test_fix_usage_error(self):
+        shell, out = fix_script(["fix"])
+        assert "usage" in out
+
+    def test_fix_emits_iteration_spans(self):
+        from repro import telemetry
+
+        telemetry.disable()
+        try:
+            shell, out = fix_script(["telemetry on", FIX_RULE])
+            session = telemetry.active()
+            spans = [
+                s for s in session.tracer.spans if s.name == "fix.iteration"
+            ]
+            assert spans
+            assert all("delta_path" in s.args for s in spans)
+        finally:
+            telemetry.disable()
+
+
 class TestTelemetryCommands:
     @pytest.fixture(autouse=True)
     def _clean_session(self):
