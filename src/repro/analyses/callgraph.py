@@ -23,14 +23,19 @@ class CallGraph:
     """BDD-based call graph over points-to results."""
 
     def __init__(
-        self, au: AnalysisUniverse, pt: Relation, engine: str = "seminaive"
+        self,
+        au: AnalysisUniverse,
+        pt: Relation,
+        engine: str = "seminaive",
+        workers: int | None = None,
     ) -> None:
         from repro.analyses.pointsto import _check_engine
 
         self.au = au
         self.pt = pt
         self.engine = _check_engine(engine)
-        self.resolver = VirtualCallResolver(au, engine=engine)
+        self.workers = workers
+        self.resolver = VirtualCallResolver(au, engine=engine, workers=workers)
         self.site_targets: Relation | None = None
         self.edges: Relation | None = None
 
@@ -71,8 +76,10 @@ class CallGraph:
     def reachable_from(self, roots: Relation) -> Relation:
         """Methods transitively reachable from ``roots`` (schema: method)."""
         assert self.edges is not None, "build() first"
-        if self.engine == "seminaive":
-            eng = FixpointEngine(self.au.universe)
+        if self.engine != "naive":
+            eng = FixpointEngine(
+                self.au.universe, engine=self.engine, workers=self.workers
+            )
             eng.fact("calls", self.edges)
             eng.relation("reached", roots)
             eng.rule("reached", ("callee",), [

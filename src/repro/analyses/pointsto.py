@@ -32,9 +32,10 @@ __all__ = ["PointsTo", "naive_points_to"]
 
 
 def _check_engine(engine: str) -> str:
-    if engine not in ("seminaive", "naive"):
+    if engine not in ("seminaive", "naive", "parallel"):
         raise JeddError(
-            f"unknown engine {engine!r} (expected 'seminaive' or 'naive')"
+            f"unknown engine {engine!r} "
+            "(expected 'seminaive', 'parallel' or 'naive')"
         )
     return engine
 
@@ -54,6 +55,7 @@ class PointsTo:
         au: AnalysisUniverse,
         type_filter: bool = False,
         engine: str = "seminaive",
+        workers: int | None = None,
     ) -> None:
         self.au = au
         self.alloc = au.alloc()
@@ -62,6 +64,7 @@ class PointsTo:
         self.load = au.load()
         self.type_filter = type_filter
         self.engine = _check_engine(engine)
+        self.workers = workers
         self.fixpoint: FixpointEngine | None = None
         self.compat: Relation | None = None
         self.pt: Relation | None = None
@@ -91,13 +94,15 @@ class PointsTo:
         """Run to fixpoint; returns ``pt`` (schema var, obj)."""
         if self.type_filter:
             self.compat = self._compatibility()
-        if self.engine == "seminaive":
+        if self.engine != "naive":
             return self._solve_seminaive()
         return self._solve_naive()
 
     def _solve_seminaive(self) -> Relation:
         au = self.au
-        eng = FixpointEngine(au.universe)
+        eng = FixpointEngine(
+            au.universe, engine=self.engine, workers=self.workers
+        )
         self.fixpoint = eng
         eng.fact("assign", self.assign)
         eng.fact("store", self.store)

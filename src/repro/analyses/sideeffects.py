@@ -29,6 +29,7 @@ class SideEffects:
         pt: Relation,
         call_edges: Relation,
         engine: str = "seminaive",
+        workers: int | None = None,
     ) -> None:
         from repro.analyses.pointsto import _check_engine
 
@@ -36,6 +37,7 @@ class SideEffects:
         self.pt = pt
         self.call_edges = call_edges  # (caller, callee)
         self.engine = _check_engine(engine)
+        self.workers = workers
         self.writes: Relation | None = None
         self.reads: Relation | None = None
 
@@ -64,8 +66,10 @@ class SideEffects:
         until a fixpoint.
         """
         reads, writes = self._direct()
-        if self.engine == "seminaive":
-            eng = FixpointEngine(self.au.universe)
+        if self.engine != "naive":
+            eng = FixpointEngine(
+                self.au.universe, engine=self.engine, workers=self.workers
+            )
             eng.fact("calls", self.call_edges)
             eng.relation("reads", reads)
             eng.relation("writes", writes)

@@ -22,7 +22,10 @@ class VirtualCallResolver:
     """BDD-based resolution, one loop iteration per hierarchy level."""
 
     def __init__(
-        self, au: AnalysisUniverse, engine: str = "seminaive"
+        self,
+        au: AnalysisUniverse,
+        engine: str = "seminaive",
+        workers: int | None = None,
     ) -> None:
         from repro.analyses.pointsto import _check_engine
 
@@ -30,6 +33,7 @@ class VirtualCallResolver:
         self.declares = au.declares_method()
         self.extend = au.extend()
         self.engine = _check_engine(engine)
+        self.workers = workers
 
     def resolve(self, receiver_types: Relation) -> Relation:
         """Figure 4's ``resolve``.
@@ -38,7 +42,7 @@ class VirtualCallResolver:
         has schema (rectype, signature, tgttype, method) where tgttype
         is the class that actually implements the method.
         """
-        if self.engine == "seminaive":
+        if self.engine != "naive":
             return self._resolve_seminaive(receiver_types)
         return self._resolve_naive(receiver_types)
 
@@ -47,7 +51,7 @@ class VirtualCallResolver:
         pairs up the hierarchy, stopping at the first class that
         declares the signature; ``answer`` collects the stops."""
         u = self.au.universe
-        eng = FixpointEngine(u)
+        eng = FixpointEngine(u, engine=self.engine, workers=self.workers)
         eng.fact("declares", self.declares)
         # (type, signature) pairs with *some* declaration -- the
         # stratified-negation guard for "keep walking".

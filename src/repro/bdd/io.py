@@ -2,59 +2,96 @@
 
 The C libraries the paper builds on can persist BDDs to disk; analyses
 use this to checkpoint expensive results (e.g. a points-to relation)
-between runs.  The format here is a small text format, one node per
-line::
+between runs.  Two formats share one set of semantics:
 
-    bdd <num_vars> <num_nodes> <root>
-    <id> <level> <low> <high>
-    ...
+- a small **text** format, one node per line::
 
-Node ids are file-local (0/1 are the terminals); loading rebuilds the
-diagram through the target manager's hash-consing, so the loaded root
-is canonical in that manager.  The same functions serve the ZDD backend
-(tag ``zdd``).
+      bdd <num_vars> <num_nodes> <root>
+      <id> <var> <low> <high>
+      ...
+
+- a compact **binary** wire format (``dumps_diagram_binary``): a 5-byte
+  header (magic ``JDDB`` + kind byte) followed by varint-packed fields.
+  Each node record is ``<var> <low> <high>`` with the child references
+  delta-encoded against the node's own id (children precede parents, so
+  most references are small), which is what makes shipping diagrams
+  between worker processes cheap — see ``docs/PARALLEL.md``.
+
+Node ids are file-local (0/1 are the terminals, real nodes start at 2,
+children before parents); loading rebuilds the diagram through the
+target manager's hash-consing, so the loaded root is canonical in that
+manager.  Both serializers walk the diagram with an explicit stack
+(:meth:`BDDManager.postorder`), so arbitrarily deep chains cannot hit
+``RecursionError``.  The same functions serve the ZDD backend (tag
+``zdd`` / kind byte 1).
 """
 
 from __future__ import annotations
 
-from typing import Dict, TextIO
+from typing import BinaryIO, Dict, List, TextIO, Tuple
 
 from repro.bdd.manager import BDDError, BDDManager
 from repro.bdd.zdd import ZDDManager
 
-__all__ = ["save_diagram", "load_diagram", "dumps_diagram", "loads_diagram"]
+__all__ = [
+    "save_diagram",
+    "load_diagram",
+    "dumps_diagram",
+    "loads_diagram",
+    "save_diagram_binary",
+    "load_diagram_binary",
+    "dumps_diagram_binary",
+    "loads_diagram_binary",
+]
+
+#: Magic prefix of the binary wire format.
+BINARY_MAGIC = b"JDDB"
+
+
+def _is_zdd(manager) -> bool:
+    return isinstance(manager, ZDDManager)
+
+
+def _node_var(manager, node: int, is_zdd: bool) -> int:
+    # BDD nodes are written by stable *variable id* so a file saved
+    # under one variable order loads correctly under any other; the
+    # ZDD manager never reorders, so its levels are its variables.
+    return manager._level[node] if is_zdd else manager.var_of(node)
+
+
+def _local_table(
+    manager, root: int
+) -> Tuple[List[int], Dict[int, int]]:
+    """Topological node listing plus the manager-id -> file-id map."""
+    order = manager.postorder(root)
+    local: Dict[int, int] = {0: 0, 1: 1}
+    for i, node in enumerate(order, start=2):
+        local[node] = i
+    return order, local
+
+
+def _rebuild_node(manager, is_zdd: bool, var: int, low: int, high: int) -> int:
+    if is_zdd:
+        return manager.mk(var, low, high)
+    # Rebuild through ITE on the *variable*: correct whatever level
+    # that variable currently occupies in the manager.
+    return manager.ite(manager.var(var), high, low)
+
+
+# ----------------------------------------------------------------------
+# Text format
+# ----------------------------------------------------------------------
 
 
 def dumps_diagram(manager, root: int) -> str:
     """Serialize the diagram rooted at ``root`` to a string."""
-    tag = "zdd" if isinstance(manager, ZDDManager) else "bdd"
-    # Topologically ordered listing: children before parents.
-    order = []
-    seen = set()
-
-    def visit(node: int) -> None:
-        if node in seen or manager.is_terminal(node):
-            return
-        seen.add(node)
-        visit(manager._low[node])
-        visit(manager._high[node])
-        order.append(node)
-
-    visit(root)
-    local: Dict[int, int] = {0: 0, 1: 1}
+    is_zdd = _is_zdd(manager)
+    tag = "zdd" if is_zdd else "bdd"
+    order, local = _local_table(manager, root)
     lines = [f"{tag} {manager.num_vars} {len(order)} "]
-    for i, node in enumerate(order, start=2):
-        local[node] = i
-        # BDD nodes are written by stable *variable id* so a file saved
-        # under one variable order loads correctly under any other; the
-        # ZDD manager never reorders, so its levels are its variables.
-        var = (
-            manager.var_of(node)
-            if tag == "bdd"
-            else manager._level[node]
-        )
+    for node in order:
         lines.append(
-            f"{i} {var} "
+            f"{local[node]} {_node_var(manager, node, is_zdd)} "
             f"{local[manager._low[node]]} {local[manager._high[node]]}"
         )
     lines[0] += str(local.get(root, root))
@@ -79,7 +116,8 @@ def loads_diagram(manager, text: str) -> int:
         int(header[2]),
         int(header[3]),
     )
-    expected = "zdd" if isinstance(manager, ZDDManager) else "bdd"
+    is_zdd = _is_zdd(manager)
+    expected = "zdd" if is_zdd else "bdd"
     if tag != expected:
         raise BDDError(f"diagram kind {tag!r} does not match {expected!r}")
     if num_vars > manager.num_vars:
@@ -88,7 +126,6 @@ def loads_diagram(manager, text: str) -> int:
             f"{manager.num_vars}"
         )
     local: Dict[int, int] = {0: 0, 1: 1}
-    is_bdd = expected == "bdd"
     for line in lines[1 : num_nodes + 1]:
         parts = line.split()
         if len(parts) != 4:
@@ -96,14 +133,9 @@ def loads_diagram(manager, text: str) -> int:
         node_id, var, low, high = (int(p) for p in parts)
         if low not in local or high not in local:
             raise BDDError(f"diagram line references unknown node: {line!r}")
-        if is_bdd:
-            # Rebuild through ITE on the *variable*: correct whatever
-            # level that variable currently occupies in the manager.
-            local[node_id] = manager.ite(
-                manager.var(var), local[high], local[low]
-            )
-        else:
-            local[node_id] = manager.mk(var, local[low], local[high])
+        local[node_id] = _rebuild_node(
+            manager, is_zdd, var, local[low], local[high]
+        )
     if root_id not in local:
         raise BDDError(f"unknown diagram root {root_id}")
     return local[root_id]
@@ -117,3 +149,146 @@ def save_diagram(manager, root: int, fp: TextIO) -> None:
 def load_diagram(manager, fp: TextIO) -> int:
     """Read a diagram from an open text file; returns the root node."""
     return loads_diagram(manager, fp.read())
+
+
+# ----------------------------------------------------------------------
+# Binary wire format
+# ----------------------------------------------------------------------
+#
+# Layout (all integers LEB128 unsigned varints):
+#
+#     "JDDB"  kind(1 byte: 0=bdd 1=zdd)
+#     num_vars  num_nodes  root
+#     num_nodes x ( var  low_code  high_code )
+#
+# ``num_vars`` is the *minimal* variable count (1 + highest variable id
+# referenced), so a diagram produced in a manager that grew scratch
+# variables still loads anywhere its support fits.  Child codes: 0 and 1
+# name the terminals; code c >= 2 references the earlier node with local
+# id ``self_id - (c - 1)`` — a backward delta, which keeps references to
+# recently emitted nodes (the common case in ordered diagrams) in one
+# byte where absolute ids would need two or three.
+
+
+def _write_uvarint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_uvarint(data: bytes, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise BDDError("truncated varint in binary diagram")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise BDDError("oversized varint in binary diagram")
+
+
+def _child_code(self_id: int, child_local: int) -> int:
+    if child_local <= 1:
+        return child_local
+    return self_id - child_local + 1
+
+
+def dumps_diagram_binary(manager, root: int) -> bytes:
+    """Serialize the diagram rooted at ``root`` to compact bytes.
+
+    Same canonical-rebuild-on-load semantics as the text format, at a
+    fraction of the size (the parallel fixpoint executor ships all its
+    relations in this encoding).
+    """
+    is_zdd = _is_zdd(manager)
+    order, local = _local_table(manager, root)
+    max_var = -1
+    for node in order:
+        var = _node_var(manager, node, is_zdd)
+        if var > max_var:
+            max_var = var
+    out = bytearray(BINARY_MAGIC)
+    out.append(1 if is_zdd else 0)
+    _write_uvarint(out, max_var + 1)
+    _write_uvarint(out, len(order))
+    _write_uvarint(out, local.get(root, root))
+    for node in order:
+        i = local[node]
+        _write_uvarint(out, _node_var(manager, node, is_zdd))
+        _write_uvarint(out, _child_code(i, local[manager._low[node]]))
+        _write_uvarint(out, _child_code(i, local[manager._high[node]]))
+    return bytes(out)
+
+
+def loads_diagram_binary(manager, data: bytes) -> int:
+    """Rebuild a binary-serialized diagram in ``manager``; returns the
+    (canonical) root node."""
+    if len(data) < len(BINARY_MAGIC) + 1:
+        raise BDDError("truncated binary diagram")
+    if data[: len(BINARY_MAGIC)] != BINARY_MAGIC:
+        raise BDDError("bad binary diagram magic")
+    kind = data[len(BINARY_MAGIC)]
+    is_zdd = _is_zdd(manager)
+    expected = 1 if is_zdd else 0
+    if kind not in (0, 1):
+        raise BDDError(f"unknown binary diagram kind {kind}")
+    if kind != expected:
+        tag = "zdd" if kind else "bdd"
+        want = "zdd" if expected else "bdd"
+        raise BDDError(f"diagram kind {tag!r} does not match {want!r}")
+    pos = len(BINARY_MAGIC) + 1
+    num_vars, pos = _read_uvarint(data, pos)
+    num_nodes, pos = _read_uvarint(data, pos)
+    root_id, pos = _read_uvarint(data, pos)
+    if num_vars > manager.num_vars:
+        raise BDDError(
+            f"diagram needs {num_vars} variables, manager has "
+            f"{manager.num_vars}"
+        )
+    local: Dict[int, int] = {0: 0, 1: 1}
+    for i in range(2, num_nodes + 2):
+        var, pos = _read_uvarint(data, pos)
+        low_code, pos = _read_uvarint(data, pos)
+        high_code, pos = _read_uvarint(data, pos)
+        if var >= num_vars:
+            raise BDDError(f"binary diagram references variable {var}")
+        children = []
+        for code in (low_code, high_code):
+            if code <= 1:
+                children.append(code)
+                continue
+            ref = i - (code - 1)
+            if ref < 2 or ref >= i:
+                raise BDDError(
+                    f"binary diagram node {i} references unknown node"
+                )
+            children.append(local[ref])
+        local[i] = _rebuild_node(
+            manager, is_zdd, var, children[0], children[1]
+        )
+    if root_id not in local:
+        raise BDDError(f"unknown diagram root {root_id}")
+    return local[root_id]
+
+
+def save_diagram_binary(manager, root: int, fp: BinaryIO) -> int:
+    """Write the binary form to an open binary file; returns the byte
+    count written."""
+    data = dumps_diagram_binary(manager, root)
+    fp.write(data)
+    return len(data)
+
+
+def load_diagram_binary(manager, fp: BinaryIO) -> int:
+    """Read a binary diagram from an open binary file; returns the root."""
+    return loads_diagram_binary(manager, fp.read())

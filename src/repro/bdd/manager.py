@@ -948,6 +948,33 @@ class BDDManager:
             stack.append(self._high[node])
         return counts
 
+    def postorder(self, root: int) -> List[int]:
+        """The internal nodes reachable from ``root``, children before
+        parents (low subtree, then high, then the node itself).
+
+        Uses an explicit stack, so arbitrarily deep diagrams — a cube
+        over thousands of variables is one long chain — never approach
+        the interpreter recursion limit.  This is the topological order
+        the serializers (:mod:`repro.bdd.io`) write.
+        """
+        order: List[int] = []
+        if self.is_terminal(root):
+            return order
+        seen = set()
+        stack: List[Tuple[int, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order.append(node)
+                continue
+            if node in seen or self.is_terminal(node):
+                continue
+            seen.add(node)
+            stack.append((node, True))
+            stack.append((self._high[node], False))
+            stack.append((self._low[node], False))
+        return order
+
     # ------------------------------------------------------------------
     # Dynamic variable reordering (Rudell sifting)
     # ------------------------------------------------------------------

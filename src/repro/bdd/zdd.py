@@ -513,6 +513,28 @@ class ZDDManager:
             stack.append(self._high[node])
         return counts
 
+    def postorder(self, root: int) -> List[int]:
+        """The internal nodes reachable from ``root``, children before
+        parents — the topological order the serializers write.  Explicit
+        stack: deep single chains never hit the recursion limit."""
+        order: List[int] = []
+        if self.is_terminal(root):
+            return order
+        seen = set()
+        stack: List[Tuple[int, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order.append(node)
+                continue
+            if node in seen or self.is_terminal(node):
+                continue
+            seen.add(node)
+            stack.append((node, True))
+            stack.append((self._high[node], False))
+            stack.append((self._low[node], False))
+        return order
+
     # ------------------------------------------------------------------
     # Reference counting and garbage collection
     # ------------------------------------------------------------------

@@ -24,12 +24,24 @@ from repro.relations.domain import (
     Universe,
     open_universe,
 )
-from repro.relations.io import load_checkpoint, load_tsv, save_checkpoint, save_tsv
+from repro.relations.io import (
+    load_checkpoint,
+    load_checkpoint_binary,
+    load_tsv,
+    save_checkpoint,
+    save_checkpoint_binary,
+    save_tsv,
+)
 from repro.relations.relation import Relation, Schema
-from repro.relations.fixpoint import Atom, FixpointEngine, Rule
+from repro.relations.fixpoint import Atom, FixpointEngine, Rule, eval_rule_body
+from repro.relations.parallel import ParallelExecutor
 
 __all__ = [
     "Atom",
+    "ParallelExecutor",
+    "eval_rule_body",
+    "load_checkpoint_binary",
+    "save_checkpoint_binary",
     "Attribute",
     "BDDBackend",
     "DiagramBackend",

@@ -56,13 +56,22 @@ the apply-cache and node-creation costs of each rule body.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro import telemetry as _telemetry
 from repro.relations.domain import JeddError, Universe
 from repro.relations.relation import Relation
 
-__all__ = ["Atom", "Rule", "FixpointEngine"]
+__all__ = ["Atom", "Rule", "FixpointEngine", "eval_rule_body"]
 
 
 class Atom:
@@ -115,11 +124,94 @@ class Rule:
         return f"Rule({self.label})"
 
 
-class FixpointEngine:
-    """Declare rules over relations; solve them semi-naively."""
+def eval_rule_body(
+    rule: Rule,
+    delta_idx: Optional[int],
+    atom_value: Callable[[Atom, bool], Relation],
+    neg_value: Callable[[Atom], Relation],
+    head_names: Sequence[str],
+) -> Relation:
+    """Evaluate one rule body; the shared core of the serial engine and
+    the parallel workers (:mod:`repro.relations.parallel`).
 
-    def __init__(self, universe: Universe) -> None:
+    Positive atom ``delta_idx`` (if any) is bound to its delta and the
+    others to the current full values; ``atom_value(atom, use_delta)``
+    supplies each positive atom's relation renamed to the atom's rule
+    variables, ``neg_value(atom)`` likewise for negated atoms.  The
+    result is renamed to ``head_names`` (the head relation's declared
+    attribute order).
+    """
+    atoms = rule.positive
+    tail = set(rule.head.vars)
+    for atom in rule.negated:
+        tail.update(atom.vars)
+    needed_after: List[set] = [set() for _ in atoms]
+    needed_after[-1] = set(tail)
+    for i in range(len(atoms) - 2, -1, -1):
+        needed_after[i] = needed_after[i + 1] | set(atoms[i + 1].vars)
+
+    cur = atom_value(atoms[0], delta_idx == 0)
+    cur_vars = set(atoms[0].vars)
+    steps: List[Tuple[Relation, List[str], List[str]]] = []
+    for i in range(1, len(atoms)):
+        atom = atoms[i]
+        other = atom_value(atom, delta_idx == i)
+        on = [v for v in atom.vars if v in cur_vars]
+        combined = cur_vars | set(atom.vars)
+        drop = sorted(combined - needed_after[i])
+        steps.append((other, on, drop))
+        cur_vars = combined - set(drop)
+    if steps:
+        cur = cur.compose_pipeline(steps)
+    else:
+        dead = cur_vars - needed_after[0]
+        if dead:
+            cur = cur.project_away(*sorted(dead))
+            cur_vars -= dead
+    for atom in rule.negated:
+        neg = neg_value(atom)
+        cur = cur - cur.join(neg, list(atom.vars), list(atom.vars))
+    extra = sorted(cur_vars - set(rule.head.vars))
+    if extra:
+        cur = cur.project_away(*extra)
+    mapping = {
+        v: n for v, n in zip(rule.head.vars, head_names) if v != n
+    }
+    return cur.rename(mapping) if mapping else cur
+
+
+class FixpointEngine:
+    """Declare rules over relations; solve them semi-naively.
+
+    ``engine`` selects how each semi-naive round evaluates its rule
+    bodies: ``"seminaive"`` (default) runs them one after another in
+    this process; ``"parallel"`` dispatches them to ``workers`` worker
+    processes (:mod:`repro.relations.parallel`), each with its own
+    diagram manager, falling back to the serial path if the pool fails.
+    Both derive the identical fixed point.  ``task_timeout`` bounds how
+    long the coordinator waits without progress before declaring a
+    worker hung; ``fault_injection`` is the test hook shipped to the
+    workers (see ``repro.relations.parallel``).
+    """
+
+    def __init__(
+        self,
+        universe: Universe,
+        engine: str = "seminaive",
+        workers: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+        fault_injection: Optional[dict] = None,
+    ) -> None:
+        if engine not in ("seminaive", "parallel"):
+            raise JeddError(
+                f"unknown fixpoint engine {engine!r} "
+                "(expected 'seminaive' or 'parallel')"
+            )
         self.universe = universe
+        self.engine = engine
+        self.workers = workers
+        self.task_timeout = task_timeout
+        self.fault_injection = fault_injection
         self._facts: Dict[str, Relation] = {}
         self._seeds: Dict[str, Relation] = {}
         self._filters: Dict[str, Relation] = {}
@@ -127,10 +219,14 @@ class FixpointEngine:
         self._order: List[str] = []  # recursive relations, declaration order
         self._full: Dict[str, Relation] = {}
         self._delta: Dict[str, Relation] = {}
+        self._executor = None
         #: Number of semi-naive iterations of the last :meth:`solve`.
         self.iterations = 0
         #: Number of rule-body evaluations of the last :meth:`solve`.
         self.rule_evaluations = 0
+        #: Executor counter snapshot of the last parallel :meth:`solve`
+        #: (bytes shipped, retries, restarts, fallbacks...), else None.
+        self.parallel_stats: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Declarations
@@ -282,44 +378,13 @@ class FixpointEngine:
     ) -> Relation:
         """One rule body, with positive atom ``delta_idx`` (if any)
         bound to its delta and the others to the current full values."""
-        atoms = rule.positive
-        tail = set(rule.head.vars)
-        for atom in rule.negated:
-            tail.update(atom.vars)
-        needed_after: List[set] = [set() for _ in atoms]
-        needed_after[-1] = set(tail)
-        for i in range(len(atoms) - 2, -1, -1):
-            needed_after[i] = needed_after[i + 1] | set(atoms[i + 1].vars)
-
-        cur = self._atom_value(atoms[0], delta_idx == 0)
-        cur_vars = set(atoms[0].vars)
-        steps: List[Tuple[Relation, List[str], List[str]]] = []
-        for i in range(1, len(atoms)):
-            atom = atoms[i]
-            other = self._atom_value(atom, delta_idx == i)
-            on = [v for v in atom.vars if v in cur_vars]
-            combined = cur_vars | set(atom.vars)
-            drop = sorted(combined - needed_after[i])
-            steps.append((other, on, drop))
-            cur_vars = combined - set(drop)
-        if steps:
-            cur = cur.compose_pipeline(steps)
-        else:
-            dead = cur_vars - needed_after[0]
-            if dead:
-                cur = cur.project_away(*sorted(dead))
-                cur_vars -= dead
-        for atom in rule.negated:
-            neg = self._rename_to_vars(self._facts[atom.name], atom)
-            cur = cur - cur.join(neg, list(atom.vars), list(atom.vars))
-        extra = sorted(cur_vars - set(rule.head.vars))
-        if extra:
-            cur = cur.project_away(*extra)
-        head_names = self._schema_of(rule.head.name).schema.names()
-        mapping = {
-            v: n for v, n in zip(rule.head.vars, head_names) if v != n
-        }
-        return cur.rename(mapping) if mapping else cur
+        return eval_rule_body(
+            rule,
+            delta_idx,
+            self._atom_value,
+            lambda atom: self._rename_to_vars(self._facts[atom.name], atom),
+            self._schema_of(rule.head.name).schema.names(),
+        )
 
     def _apply_filter(self, name: str, rel: Relation) -> Relation:
         flt = self._filters.get(name)
@@ -334,42 +399,128 @@ class FixpointEngine:
             [full.schema.physdom(n) for n in names],
         )
 
+    def _rel_schema_specs(self) -> Dict[str, tuple]:
+        """Every registered relation's declared schema, by name, as
+        picklable ``((attr_name, physdom_name), ...)`` tuples."""
+        specs: Dict[str, tuple] = {}
+        for name in list(self._seeds) + list(self._facts):
+            rel = self._schema_of(name)
+            specs[name] = tuple(
+                (attr.name, pd.name) for attr, pd in rel.schema.pairs
+            )
+        return specs
+
     def solve(self) -> Dict[str, Relation]:
         """Run the rules to the least fixed point; returns the solution
         relations keyed by name (also kept on the engine)."""
         tel = _telemetry.active()
         self.iterations = 0
         self.rule_evaluations = 0
-        with tel.span(
-            "fixpoint.solve",
-            cat="fixpoint",
-            rules=len(self._rules),
-            relations=list(self._order),
-        ):
-            for name in self._order:
-                self._full[name] = self._apply_filter(
-                    name, self._seeds[name]
-                )
-            # Rules with no recursive body atom derive a fixed set:
-            # evaluate them once, before the loop.
-            static_rules = [
-                r for r in self._rules if not r.recursive_positions
-            ]
-            for rule in static_rules:
-                self.rule_evaluations += 1
-                with tel.span("fixpoint.rule", cat="fixpoint",
-                              rule=rule.label, iteration=0):
-                    out = self._apply_filter(
-                        rule.head.name, self._eval_rule(rule, None)
+        self.parallel_stats = None
+        if self.engine == "parallel":
+            from repro.relations.parallel import ParallelExecutor
+
+            self._executor = ParallelExecutor(
+                self.universe,
+                self._rules,
+                dict(self._facts),
+                list(self._order),
+                self._rel_schema_specs(),
+                workers=self.workers,
+                task_timeout=self.task_timeout,
+                fault_injection=self.fault_injection,
+            )
+        try:
+            with tel.span(
+                "fixpoint.solve",
+                cat="fixpoint",
+                rules=len(self._rules),
+                relations=list(self._order),
+                engine=self.engine,
+            ):
+                for name in self._order:
+                    self._full[name] = self._apply_filter(
+                        name, self._seeds[name]
                     )
-                self._full[rule.head.name] = \
-                    self._full[rule.head.name] | out
-            for name in self._order:
-                self._delta[name] = self._full[name]
-            while any(not self._delta[n].is_empty() for n in self._order):
-                self.iterations += 1
-                self._iterate(tel)
+                # Rules with no recursive body atom derive a fixed set:
+                # evaluate them once, before the loop.
+                static_rules = [
+                    r for r in self._rules if not r.recursive_positions
+                ]
+                for rule in static_rules:
+                    self.rule_evaluations += 1
+                    with tel.span("fixpoint.rule", cat="fixpoint",
+                                  rule=rule.label, iteration=0):
+                        out = self._apply_filter(
+                            rule.head.name, self._eval_rule(rule, None)
+                        )
+                    self._full[rule.head.name] = \
+                        self._full[rule.head.name] | out
+                for name in self._order:
+                    self._delta[name] = self._full[name]
+                while any(
+                    not self._delta[n].is_empty() for n in self._order
+                ):
+                    self.iterations += 1
+                    self._iterate(tel)
+        finally:
+            if self._executor is not None:
+                self._executor.close()
+                self.parallel_stats = self._executor.stats_snapshot()
+                self._executor = None
         return dict(self._full)
+
+    def _evaluate_rules_serial(self, tel, it: int) -> Dict[str, Relation]:
+        """One round of rule-body evaluations, in this process."""
+        acc: Dict[str, Relation] = {}
+        for rule in self._rules:
+            for pos in rule.recursive_positions:
+                delta = self._delta[rule.positive[pos].name]
+                if delta.is_empty():
+                    continue
+                self.rule_evaluations += 1
+                with tel.span(
+                    "fixpoint.rule",
+                    cat="fixpoint",
+                    rule=rule.label,
+                    delta=rule.positive[pos].name,
+                    iteration=it,
+                ):
+                    out = self._eval_rule(rule, pos)
+                prev = acc.get(rule.head.name)
+                acc[rule.head.name] = (
+                    out if prev is None else prev | out
+                )
+        return acc
+
+    def _evaluate_rules_parallel(self, tel, it: int) -> Dict[str, Relation]:
+        """One round of rule-body evaluations, on the worker pool.
+
+        Contributions are unioned in the same deterministic order as the
+        serial loop; any task the executor cannot complete it evaluates
+        through the serial ``_eval_rule`` fallback, so the round always
+        finishes with the same result set.
+        """
+        tasks: List[Tuple[int, int]] = []
+        for ri, rule in enumerate(self._rules):
+            for pos in rule.recursive_positions:
+                if not self._delta[rule.positive[pos].name].is_empty():
+                    tasks.append((ri, pos))
+        outs = self._executor.evaluate_round(
+            tasks,
+            self._delta,
+            self._full,
+            lambda ri, pos: self._eval_rule(self._rules[ri], pos),
+            tel,
+            it,
+        )
+        acc: Dict[str, Relation] = {}
+        for (ri, _pos), out in zip(tasks, outs):
+            self.rule_evaluations += 1
+            head = self._rules[ri].head.name
+            prev = acc.get(head)
+            acc[head] = out if prev is None else prev | out
+        return acc
 
     def _iterate(self, tel) -> None:
         it = self.iterations
@@ -382,25 +533,10 @@ class FixpointEngine:
             # rule bodies allocate dies here; only the new delta and
             # full relations are kept.
             with self.universe.scope() as scope:
-                acc: Dict[str, Relation] = {}
-                for rule in self._rules:
-                    for pos in rule.recursive_positions:
-                        delta = self._delta[rule.positive[pos].name]
-                        if delta.is_empty():
-                            continue
-                        self.rule_evaluations += 1
-                        with tel.span(
-                            "fixpoint.rule",
-                            cat="fixpoint",
-                            rule=rule.label,
-                            delta=rule.positive[pos].name,
-                            iteration=it,
-                        ):
-                            out = self._eval_rule(rule, pos)
-                        prev = acc.get(rule.head.name)
-                        acc[rule.head.name] = (
-                            out if prev is None else prev | out
-                        )
+                if self._executor is not None and not self._executor.broken:
+                    acc = self._evaluate_rules_parallel(tel, it)
+                else:
+                    acc = self._evaluate_rules_serial(tel, it)
                 for name in self._order:
                     contrib = acc.get(name)
                     if contrib is None:

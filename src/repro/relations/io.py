@@ -11,13 +11,25 @@ Two granularities, matching how analyses persist state:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, TextIO
+from typing import BinaryIO, List, Optional, Sequence, TextIO
 
-from repro.bdd.io import dumps_diagram, loads_diagram
+from repro.bdd.io import (
+    dumps_diagram,
+    dumps_diagram_binary,
+    loads_diagram,
+    loads_diagram_binary,
+)
 from repro.relations.domain import JeddError, Universe
 from repro.relations.relation import Relation
 
-__all__ = ["save_tsv", "load_tsv", "save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "save_tsv",
+    "load_tsv",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_checkpoint_binary",
+    "load_checkpoint_binary",
+]
 
 
 def save_tsv(relation: Relation, fp: TextIO) -> int:
@@ -80,6 +92,42 @@ def load_checkpoint(universe: Universe, fp: TextIO) -> Relation:
             (universe.get_attribute(attr_name), universe.get_physdom(pd_name))
         )
     node = loads_diagram(universe.manager, rest)
+    from repro.relations.relation import Schema
+
+    return Relation(universe, Schema(pairs), node)
+
+
+def save_checkpoint_binary(relation: Relation, fp: BinaryIO) -> int:
+    """:func:`save_checkpoint` in the compact binary wire format.
+
+    A UTF-8 schema header line, then the binary diagram from
+    :func:`repro.bdd.io.dumps_diagram_binary` — the same encoding the
+    parallel fixpoint executor uses to ship relations between
+    processes.  Returns the number of bytes written.
+    """
+    header = " ".join(
+        f"{attr.name}:{pd.name}" for attr, pd in relation.schema.pairs
+    )
+    data = f"schema {header}\n".encode("utf-8")
+    data += dumps_diagram_binary(relation.universe.manager, relation.node)
+    fp.write(data)
+    return len(data)
+
+
+def load_checkpoint_binary(universe: Universe, fp: BinaryIO) -> Relation:
+    """Restore a binary checkpoint (see :func:`load_checkpoint` for the
+    universe-compatibility requirements)."""
+    blob = fp.read()
+    first, sep, rest = blob.partition(b"\n")
+    if not sep or not first.startswith(b"schema "):
+        raise JeddError("missing checkpoint schema header")
+    pairs = []
+    for spec in first.decode("utf-8")[len("schema "):].split():
+        attr_name, _, pd_name = spec.partition(":")
+        pairs.append(
+            (universe.get_attribute(attr_name), universe.get_physdom(pd_name))
+        )
+    node = loads_diagram_binary(universe.manager, rest)
     from repro.relations.relation import Schema
 
     return Relation(universe, Schema(pairs), node)

@@ -1,0 +1,557 @@
+"""Parallel rule evaluation over worker processes.
+
+Within one semi-naive round every ``(rule, delta position)`` evaluation
+is independent — each reads the previous round's delta/full relations
+and produces a contribution that is unioned afterwards — so the round
+can fan out across cores.  CPython threads cannot help (the kernels are
+pure Python), so this module runs a pool of **processes**, each holding
+its own fresh ``BDDManager``/``ZDDManager``:
+
+- at pool start, each worker rebuilds the universe from a picklable
+  spec (domains with their interned objects, attributes, physical
+  domains with their stable variable ids) and loads the static fact
+  relations, shipped once in the binary wire format of
+  :mod:`repro.bdd.io`;
+- each round, the coordinator serializes the delta/full relations a
+  task needs (normalized into their *declared* physical domains, so no
+  scratch domain allocated mid-solve leaks across the process
+  boundary), dispatches tasks, and deserializes each worker's
+  contribution diagram back into its own manager.
+
+Diagrams are written by stable variable id and rebuilt through the
+receiving manager's hash-consing, so a worker whose manager has the
+identity variable order interoperates exactly with a coordinator that
+has dynamically reordered (see ``docs/PARALLEL.md``).
+
+Failure handling is the executor's other job: every batch has a
+progress deadline (``task_timeout`` since the last result), dead
+workers are detected by polling, a failed batch is retried once —
+restarting the pool if it is unhealthy — and if tasks still cannot be
+completed the executor marks itself ``broken`` and the engine finishes
+the solve (and this round's leftover tasks) on the serial path.  A
+crashed or hung pool can therefore never wedge or corrupt a solve; the
+worst case is losing the speedup.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bdd import BDDManager, ZDDManager
+from repro.bdd.io import dumps_diagram_binary, loads_diagram_binary
+from repro.relations.domain import PhysicalDomain, Universe
+from repro.relations.relation import Relation, Schema
+
+__all__ = ["ParallelExecutor"]
+
+#: Once a worker process is seen dead, how long the coordinator keeps
+#: collecting results from the survivors before declaring the batch
+#: unhealthy (the dead worker's in-flight task can never arrive).
+_DEAD_WORKER_GRACE = 0.5
+
+#: A schema shipped by name: ``((attr_name, physdom_name), ...)``.
+SchemaSpec = Tuple[Tuple[str, str], ...]
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def _build_universe(spec: dict) -> Universe:
+    """Reconstruct a universe in a worker from its picklable spec.
+
+    Bypasses ``finalize()``: the physical domains carry the coordinator's
+    level assignments (stable variable ids) verbatim, and the manager is
+    created directly with the coordinator's variable count.
+    """
+    u = Universe(backend=spec["backend"], ordering="interleaved")
+    for name, max_size, objs in spec["domains"]:
+        dom = u.domain(name, max_size)
+        for obj in objs:
+            dom.intern(obj)
+    for name, dom_name in spec["attributes"]:
+        u.attribute(name, u.get_domain(dom_name))
+    scratch_max = 0
+    for name, bits, levels in spec["physdoms"]:
+        pd = PhysicalDomain(name, bits)
+        pd.levels = list(levels)
+        u._physdoms[name] = pd
+        u._physdom_order.append(pd)
+        if name.startswith("__scratch"):
+            try:
+                scratch_max = max(scratch_max, int(name[len("__scratch"):]))
+            except ValueError:
+                pass
+    # Fresh worker-side scratch domains must not collide with shipped ones.
+    u._scratch_counter = scratch_max
+    if spec["backend"] == "bdd":
+        u.manager = BDDManager(spec["num_vars"])
+    else:
+        u.manager = ZDDManager(spec["num_vars"])
+    return u
+
+
+def _make_relation(u: Universe, spec: SchemaSpec, node: int) -> Relation:
+    pairs = [(u.get_attribute(a), u.get_physdom(p)) for a, p in spec]
+    return Relation(u, Schema(pairs), node)
+
+
+def _maybe_inject_fault(
+    fi: Optional[dict], rule, attempt: int, iteration: int
+) -> None:
+    """Deterministic test hook: misbehave on early attempts of matching
+    tasks.  ``fi`` ships in the worker init payload; production solves
+    pass None and this is a single falsy check.  Optional keys narrow
+    the blast radius: ``head`` (rule head name), ``iteration`` (only
+    that semi-naive round — restarted workers have no memory, so an
+    unconditional hang/exit would otherwise recur every round),
+    ``max_attempt`` (stop injecting from that retry attempt on)."""
+    if not fi:
+        return
+    head = fi.get("head")
+    if head is not None and rule.head.name != head:
+        return
+    it = fi.get("iteration")
+    if it is not None and iteration != it:
+        return
+    if attempt >= fi.get("max_attempt", 1):
+        return
+    mode = fi.get("mode", "raise")
+    if mode == "raise":
+        raise RuntimeError(f"injected fault in rule {rule.label}")
+    if mode == "hang":
+        time.sleep(fi.get("hang_seconds", 600.0))
+    elif mode == "exit":
+        os._exit(3)
+
+
+def _worker_main(worker_id: int, init_bytes: bytes, task_q, result_q) -> None:
+    """Worker process entry point (module-level, so ``spawn`` works)."""
+    # Under fork the child inherits the coordinator's telemetry session
+    # and profiler hooks; sever both so worker-side kernel calls never
+    # touch coordinator-owned state.
+    try:
+        from repro import telemetry as _telemetry
+        _telemetry.disable()
+    except Exception:
+        pass
+    Relation.profiler = None
+    try:
+        from repro.relations.fixpoint import eval_rule_body
+
+        init = pickle.loads(init_bytes)
+        u = _build_universe(init["universe"])
+        manager = u.manager
+        rel_schemas: Dict[str, SchemaSpec] = init["rel_schemas"]
+        recursive = set(init["recursive"])
+        rules = init["rules"]
+        fi = init.get("fault_injection")
+        facts = {
+            name: _make_relation(
+                u, rel_schemas[name], loads_diagram_binary(manager, payload)
+            )
+            for name, payload in init["facts"].items()
+        }
+    except BaseException as exc:  # report anything, incl. SystemExit
+        try:
+            result_q.put(("init-error", False, repr(exc), worker_id, 0.0, None))
+        except Exception:
+            pass
+        return
+    while True:
+        msg = task_q.get()
+        if msg is None:
+            return
+        key, attempt, iteration, ri, pos, wires = msg
+        start = time.perf_counter()
+        try:
+            rule = rules[ri]
+            _maybe_inject_fault(fi, rule, attempt, iteration)
+            stats = manager.stats
+            hits0, misses0 = stats.op_totals()
+            nodes0 = stats.nodes_created
+            with u.scope():
+                wire_rels = {
+                    wkey: _make_relation(
+                        u,
+                        rel_schemas[wkey[1]],
+                        loads_diagram_binary(manager, data),
+                    )
+                    for wkey, data in wires.items()
+                }
+
+                def atom_value(atom, use_delta):
+                    if atom.name in recursive:
+                        rel = wire_rels[
+                            ("delta" if use_delta else "full", atom.name)
+                        ]
+                    else:
+                        rel = facts[atom.name]
+                    names = [a for a, _ in rel_schemas[atom.name]]
+                    mapping = {
+                        n: v for n, v in zip(names, atom.vars) if n != v
+                    }
+                    return rel.rename(mapping) if mapping else rel
+
+                head_spec = rel_schemas[rule.head.name]
+                out = eval_rule_body(
+                    rule,
+                    pos,
+                    atom_value,
+                    lambda atom: atom_value(atom, False),
+                    [a for a, _ in head_spec],
+                )
+                # Contributions ship in the declared head schema so the
+                # coordinator (and any other worker) can place them
+                # without knowing this worker's scratch domains.
+                out = out.replace({a: p for a, p in head_spec})
+                payload = dumps_diagram_binary(manager, out.node)
+            hits1, misses1 = stats.op_totals()
+            kstats = {
+                "nodes_created": stats.nodes_created - nodes0,
+                "cache_hits": hits1 - hits0,
+                "cache_misses": misses1 - misses0,
+            }
+            result_q.put(
+                (key, True, payload, worker_id,
+                 time.perf_counter() - start, kstats)
+            )
+        except BaseException as exc:
+            try:
+                result_q.put(
+                    (key, False, repr(exc), worker_id,
+                     time.perf_counter() - start, None)
+                )
+            except Exception:
+                return
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+
+
+class _Pool:
+    """A batch of worker processes sharing one task and one result queue."""
+
+    def __init__(self, ctx, workers: int, init_bytes: bytes) -> None:
+        self.task_q = ctx.Queue()
+        self.result_q = ctx.Queue()
+        self.procs = []
+        for wid in range(workers):
+            p = ctx.Process(
+                target=_worker_main,
+                args=(wid, init_bytes, self.task_q, self.result_q),
+                daemon=True,
+            )
+            p.start()
+            self.procs.append(p)
+
+    def any_dead(self) -> bool:
+        return any(not p.is_alive() for p in self.procs)
+
+    def shutdown(self, force: bool = False) -> None:
+        if not force:
+            for _ in self.procs:
+                try:
+                    self.task_q.put(None)
+                except Exception:
+                    pass
+        for p in self.procs:
+            if force:
+                p.terminate()
+            else:
+                p.join(timeout=1.0)
+                if p.is_alive():
+                    p.terminate()
+        for p in self.procs:
+            p.join(timeout=1.0)
+        for q in (self.task_q, self.result_q):
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except Exception:
+                pass
+
+
+class ParallelExecutor:
+    """Dispatch one round's rule evaluations to a process pool.
+
+    Created by :meth:`FixpointEngine.solve` when ``engine="parallel"``;
+    see the module docstring for the protocol.  After any unrecoverable
+    failure ``broken`` is True and the engine stops calling it.
+    """
+
+    def __init__(
+        self,
+        universe: Universe,
+        rules: Sequence,
+        facts: Dict[str, Relation],
+        recursive_names: Sequence[str],
+        rel_schemas: Dict[str, SchemaSpec],
+        workers: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+        fault_injection: Optional[dict] = None,
+    ) -> None:
+        self.universe = universe
+        self.rules = list(rules)
+        self.recursive = set(recursive_names)
+        self.rel_schemas = rel_schemas
+        self.workers = max(1, workers or min(4, os.cpu_count() or 1))
+        self.task_timeout = 60.0 if task_timeout is None else task_timeout
+        self.broken = False
+        self.failure_reason: Optional[str] = None
+        self._pool: Optional[_Pool] = None
+        self._restarts_left = 2
+        self.counters: Dict[str, int] = {
+            "rounds": 0,
+            "tasks_dispatched": 0,
+            "tasks_failed": 0,
+            "retries": 0,
+            "restarts": 0,
+            "serial_fallback_tasks": 0,
+            "bytes_shipped": 0,
+            "bytes_returned": 0,
+        }
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            self._ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            init = {
+                "universe": self._universe_spec(),
+                "facts": {
+                    name: dumps_diagram_binary(universe.manager, rel.node)
+                    for name, rel in facts.items()
+                },
+                "rules": self.rules,
+                "recursive": sorted(self.recursive),
+                "rel_schemas": rel_schemas,
+                "fault_injection": fault_injection,
+            }
+            self._init_bytes = pickle.dumps(
+                init, protocol=pickle.HIGHEST_PROTOCOL
+            )
+            self._pool = _Pool(self._ctx, self.workers, self._init_bytes)
+        except Exception as exc:
+            self.broken = True
+            self.failure_reason = f"pool startup failed: {exc!r}"
+            self._pool = None
+
+    def _universe_spec(self) -> dict:
+        u = self.universe
+        return {
+            "backend": u.backend_name,
+            "num_vars": u.manager.num_vars,
+            "domains": [
+                (d.name, d.max_size, tuple(d._to_obj))
+                for d in u._domains.values()
+            ],
+            "attributes": [
+                (a.name, a.domain.name) for a in u._attributes.values()
+            ],
+            "physdoms": [
+                (pd.name, pd.bits, tuple(pd.levels))
+                for pd in u._physdom_order
+                if pd.levels is not None
+            ],
+        }
+
+    # -- one round -----------------------------------------------------
+
+    def evaluate_round(
+        self,
+        tasks: Sequence[Tuple[int, int]],
+        delta: Dict[str, Relation],
+        full: Dict[str, Relation],
+        serial_eval: Callable[[int, int], Relation],
+        tel,
+        iteration: int,
+    ) -> List[Relation]:
+        """Evaluate ``tasks`` (``(rule_index, delta_position)`` pairs);
+        returns their contribution relations in task order.
+
+        Tasks a healthy pool cannot complete within the retry budget
+        are evaluated via ``serial_eval`` on the coordinator, so the
+        returned list is always complete.
+        """
+        self.counters["rounds"] += 1
+        manager = self.universe.manager
+        wire_cache: Dict[Tuple[str, str], bytes] = {}
+        messages: Dict[Tuple[int, int], tuple] = {}
+        with tel.span("parallel.serialize", cat="parallel",
+                      iteration=iteration):
+            for ri, pos in tasks:
+                rule = self.rules[ri]
+                wires: Dict[Tuple[str, str], bytes] = {}
+                for i, atom in enumerate(rule.positive):
+                    if atom.name not in self.recursive:
+                        continue
+                    wkey = ("delta" if i == pos else "full", atom.name)
+                    data = wire_cache.get(wkey)
+                    if data is None:
+                        rel = (delta if wkey[0] == "delta" else full)[
+                            atom.name
+                        ]
+                        declared = self.rel_schemas[atom.name]
+                        normalized = rel.replace(
+                            {a: p for a, p in declared}
+                        )
+                        data = dumps_diagram_binary(manager, normalized.node)
+                        wire_cache[wkey] = data
+                    wires[wkey] = data
+                messages[(ri, pos)] = (ri, pos, wires)
+
+        results: Dict[Tuple[int, int], tuple] = {}
+        pending = dict(messages)
+        with tel.span("parallel.dispatch", cat="parallel",
+                      iteration=iteration, tasks=len(messages),
+                      workers=self.workers):
+            for attempt in range(2):
+                if not pending:
+                    break
+                if self._pool is None and not self._restart():
+                    break
+                if attempt:
+                    self.counters["retries"] += len(pending)
+                ok, failures, healthy = self._run_batch(
+                    pending, attempt, iteration
+                )
+                results.update(ok)
+                for k in ok:
+                    pending.pop(k, None)
+                for k, err in failures:
+                    self.counters["tasks_failed"] += 1
+                    tel.add_complete(
+                        "parallel.task_error", 0.0, cat="parallel",
+                        rule=self.rules[k[0]].label, error=err,
+                        iteration=iteration, attempt=attempt,
+                    )
+                if not healthy:
+                    self._teardown_pool(force=True)
+
+        outs: Dict[Tuple[int, int], Relation] = {}
+        if pending:
+            # Retry budget exhausted: give up on the pool for the rest
+            # of this solve and finish the leftovers serially.
+            self.broken = True
+            self.failure_reason = (
+                self.failure_reason or "tasks failed after retry"
+            )
+            self._teardown_pool(force=True)
+            tel.add_complete(
+                "parallel.failure", 0.0, cat="parallel",
+                iteration=iteration, tasks=len(pending),
+                reason=self.failure_reason,
+            )
+            for key in list(pending):
+                ri, pos, _ = pending.pop(key)
+                self.counters["serial_fallback_tasks"] += 1
+                outs[key] = serial_eval(ri, pos)
+
+        with tel.span("parallel.merge", cat="parallel", iteration=iteration):
+            for key, (payload, wid, elapsed, kstats) in results.items():
+                self.counters["bytes_returned"] += len(payload)
+                rule = self.rules[key[0]]
+                declared = self.rel_schemas[rule.head.name]
+                node = loads_diagram_binary(manager, payload)
+                outs[key] = _make_relation(self.universe, declared, node)
+                tel.add_complete(
+                    "parallel.task", elapsed, cat="parallel",
+                    worker=wid, rule=rule.label, iteration=iteration,
+                    bytes_out=len(payload), **(kstats or {}),
+                )
+        return [outs[key] for key in ((ri, pos) for ri, pos in tasks)]
+
+    def _run_batch(self, pending: Dict, attempt: int, iteration: int):
+        """Ship ``pending`` to the pool and collect until done or stalled.
+
+        Returns ``(ok, failures, healthy)``: results keyed by task,
+        cleanly-reported worker errors, and whether the pool made
+        progress (False means hang/crash — terminate and restart it).
+        """
+        pool = self._pool
+        for key, (ri, pos, wires) in pending.items():
+            pool.task_q.put((key, attempt, iteration, ri, pos, wires))
+            self.counters["tasks_dispatched"] += 1
+            self.counters["bytes_shipped"] += sum(
+                len(b) for b in wires.values()
+            )
+        waiting = set(pending)
+        ok: Dict = {}
+        failures: List[Tuple[tuple, str]] = []
+        deadline = time.monotonic() + self.task_timeout
+        dead_seen = False
+        healthy = True
+        while waiting:
+            try:
+                msg = pool.result_q.get(timeout=0.05)
+            except queue.Empty:
+                now = time.monotonic()
+                if not dead_seen and pool.any_dead():
+                    # The dead worker's in-flight task will never come;
+                    # give the survivors a short grace, then restart.
+                    deadline = min(deadline, now + _DEAD_WORKER_GRACE)
+                    dead_seen = True
+                if now >= deadline:
+                    healthy = False
+                    self.failure_reason = self.failure_reason or (
+                        "worker died mid-task" if dead_seen
+                        else f"no progress within {self.task_timeout}s"
+                    )
+                    break
+                continue
+            key, success, payload, wid, elapsed, kstats = msg
+            if key == "init-error":
+                healthy = False
+                self.failure_reason = f"worker init failed: {payload}"
+                break
+            if key not in waiting:
+                continue
+            waiting.discard(key)
+            deadline = time.monotonic() + self.task_timeout
+            if success:
+                ok[key] = (payload, wid, elapsed, kstats)
+            else:
+                failures.append((key, payload))
+        return ok, failures, healthy
+
+    # -- pool lifecycle ------------------------------------------------
+
+    def _restart(self) -> bool:
+        if self._restarts_left <= 0:
+            self.failure_reason = (
+                self.failure_reason or "pool restart budget exhausted"
+            )
+            return False
+        self._restarts_left -= 1
+        self.counters["restarts"] += 1
+        try:
+            self._pool = _Pool(self._ctx, self.workers, self._init_bytes)
+            return True
+        except Exception as exc:
+            self.failure_reason = f"pool restart failed: {exc!r}"
+            self._pool = None
+            return False
+
+    def _teardown_pool(self, force: bool = False) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(force=force)
+
+    def close(self) -> None:
+        """Shut the pool down (sentinels, join, terminate stragglers)."""
+        self._teardown_pool(force=False)
+
+    def stats_snapshot(self) -> dict:
+        out = dict(self.counters)
+        out["workers"] = self.workers
+        out["broken"] = self.broken
+        out["failure_reason"] = self.failure_reason
+        return out

@@ -51,6 +51,9 @@ class NullTelemetry:
     def span(self, name, cat="host", **args):
         return _NULL_SPAN
 
+    def add_complete(self, name, seconds, cat="host", **args):
+        pass
+
     def statement_span(self, site, **args):
         return _NULL_SPAN
 
@@ -91,6 +94,11 @@ class Telemetry:
 
     def span(self, name: str, cat: str = "host", **args: object):
         return self.tracer.span(name, cat, **args)
+
+    def add_complete(self, name: str, seconds: float, cat: str = "host", **args: object) -> None:
+        """Record an already-timed event (e.g. a worker-side task whose
+        duration was measured in another process)."""
+        self.tracer.add_complete(name, seconds, cat, **args)
 
     def statement_span(self, site: str, **args: object):
         """Span for one interpreter statement; also scopes ``site`` so

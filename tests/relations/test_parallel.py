@@ -1,0 +1,281 @@
+"""Tests for the parallel fixpoint executor (engine equivalence, the
+worker universe/wire protocol, and fault injection).
+
+Every test runs under a ``signal.SIGALRM`` watchdog (the repo's
+self-contained stand-in for ``pytest-timeout``): the whole point of the
+executor's robustness layer is that a hung or dead pool can never wedge
+a solve, so a test that blocks is itself a failure, not a CI hang.
+"""
+
+import signal
+
+import pytest
+
+from repro.bdd.io import dumps_diagram_binary, loads_diagram_binary
+from repro.relations import FixpointEngine, JeddError, Relation, open_universe
+from repro.relations.parallel import _build_universe, ParallelExecutor
+
+WATCHDOG_SECONDS = 120
+
+
+@pytest.fixture(autouse=True)
+def watchdog():
+    """Fail loudly instead of hanging if a solve wedges."""
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded {WATCHDOG_SECONDS}s watchdog — the parallel "
+            "executor may have deadlocked"
+        )
+
+    old = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(WATCHDOG_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, old)
+
+
+def closure_universe(backend="bdd"):
+    return open_universe(
+        backend=backend,
+        domains={"N": 64},
+        attributes={"src": "N", "dst": "N"},
+        physdoms={"P1": 6, "P2": 6, "P3": 6},
+    )
+
+
+EDGES = [(i, i + 1) for i in range(12)] + [(3, 30), (30, 31), (5, 40)]
+
+
+def solve_closure(backend="bdd", engine="seminaive", **kw):
+    """Transitive closure over EDGES; returns (tuple set, engine)."""
+    u = closure_universe(backend)
+    edge = u.relation_of(["src", "dst"], EDGES, ["P1", "P2"])
+    eng = FixpointEngine(u, engine=engine, **kw)
+    eng.fact("edge", edge)
+    eng.relation("path", edge)
+    eng.rule("path", ("x", "z"), [("edge", ("x", "y")), ("path", ("y", "z"))])
+    solution = eng.solve()
+    return frozenset(solution["path"].tuples()), eng
+
+
+def oracle_closure():
+    pairs = set(EDGES)
+    changed = True
+    while changed:
+        changed = False
+        for a, b in list(pairs):
+            for c, d in list(pairs):
+                if b == c and (a, d) not in pairs:
+                    pairs.add((a, d))
+                    changed = True
+    return frozenset(pairs)
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        u = closure_universe()
+        with pytest.raises(JeddError):
+            FixpointEngine(u, engine="threads")
+
+    def test_serial_engine_has_no_parallel_stats(self):
+        result, eng = solve_closure(engine="seminaive")
+        assert eng.parallel_stats is None
+
+    def test_parallel_records_stats(self):
+        result, eng = solve_closure(engine="parallel", workers=2)
+        stats = eng.parallel_stats
+        assert stats is not None
+        assert stats["tasks_dispatched"] > 0
+        assert stats["bytes_shipped"] > 0
+        assert stats["bytes_returned"] > 0
+        assert not stats["broken"]
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("backend", ["bdd", "zdd"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_matches_serial_and_oracle(self, backend, workers):
+        serial, _ = solve_closure(backend)
+        parallel, eng = solve_closure(
+            backend, engine="parallel", workers=workers
+        )
+        assert parallel == serial == oracle_closure()
+        assert not eng.parallel_stats["broken"]
+
+    def test_solution_relations_bit_identical(self):
+        """Same universe declarations, same fixpoint, same diagram."""
+        u1 = closure_universe()
+        edge1 = u1.relation_of(["src", "dst"], EDGES, ["P1", "P2"])
+        e1 = FixpointEngine(u1)
+        e1.fact("edge", edge1)
+        e1.relation("path", edge1)
+        e1.rule("path", ("x", "z"),
+                [("edge", ("x", "y")), ("path", ("y", "z"))])
+        s1 = e1.solve()["path"]
+
+        u2 = closure_universe()
+        edge2 = u2.relation_of(["src", "dst"], EDGES, ["P1", "P2"])
+        e2 = FixpointEngine(u2, engine="parallel", workers=2)
+        e2.fact("edge", edge2)
+        e2.relation("path", edge2)
+        e2.rule("path", ("x", "z"),
+                [("edge", ("x", "y")), ("path", ("y", "z"))])
+        s2 = e2.solve()["path"]
+
+        # Both fixpoints live in the declared physical domains, so the
+        # canonical diagrams — and their serialized bytes — coincide.
+        assert s1.schema.names() == s2.schema.names()
+        assert (
+            dumps_diagram_binary(u1.manager, s1.node)
+            == dumps_diagram_binary(u2.manager, s2.node)
+        )
+
+
+class TestWorkerUniverse:
+    """The picklable spec must rebuild a bit-compatible universe."""
+
+    def test_spec_roundtrip(self):
+        u = closure_universe()
+        rel = u.relation_of(["src", "dst"], EDGES, ["P1", "P2"])
+        executor = ParallelExecutor(
+            u, rules=[], facts={}, recursive_names=[], rel_schemas={},
+            workers=1,
+        )
+        try:
+            spec = executor._universe_spec()
+        finally:
+            executor.close()
+        u2 = _build_universe(spec)
+        assert u2.backend_name == u.backend_name
+        assert u2.manager.num_vars == u.manager.num_vars
+        for pd in u.physical_domains():
+            assert u2.get_physdom(pd.name).levels == pd.levels
+        # A diagram shipped over the wire decodes to the same tuples.
+        node = loads_diagram_binary(
+            u2.manager, dumps_diagram_binary(u.manager, rel.node)
+        )
+        again = Relation(
+            u2,
+            rel.schema.__class__(
+                [(u2.get_attribute("src"), u2.get_physdom("P1")),
+                 (u2.get_attribute("dst"), u2.get_physdom("P2"))]
+            ),
+            node,
+        )
+        assert set(again.tuples()) == set(rel.tuples())
+
+    def test_spec_scratch_counter_advances_past_shipped(self):
+        u = closure_universe()
+        u.scratch_physdom(3)
+        executor = ParallelExecutor(
+            u, rules=[], facts={}, recursive_names=[], rel_schemas={},
+            workers=1,
+        )
+        try:
+            spec = executor._universe_spec()
+        finally:
+            executor.close()
+        u2 = _build_universe(spec)
+        fresh = u2.scratch_physdom(3)
+        assert fresh.name not in {pd.name for pd in u.physical_domains()}
+
+
+class TestFaultInjection:
+    """Worker failures must degrade, never corrupt or deadlock."""
+
+    def test_worker_raises_then_retry_succeeds(self):
+        serial, _ = solve_closure()
+        result, eng = solve_closure(
+            engine="parallel", workers=2,
+            fault_injection={"mode": "raise", "max_attempt": 1},
+        )
+        assert result == serial
+        stats = eng.parallel_stats
+        assert stats["tasks_failed"] > 0
+        assert stats["retries"] > 0
+        assert stats["restarts"] == 0          # clean errors need no restart
+        assert not stats["broken"]
+
+    def test_worker_raises_always_falls_back_to_serial(self):
+        serial, _ = solve_closure()
+        result, eng = solve_closure(
+            engine="parallel", workers=2,
+            fault_injection={"mode": "raise", "max_attempt": 99},
+        )
+        assert result == serial
+        stats = eng.parallel_stats
+        assert stats["broken"]
+        assert stats["serial_fallback_tasks"] > 0
+
+    def test_worker_hangs_past_timeout_then_restart(self):
+        serial, _ = solve_closure()
+        result, eng = solve_closure(
+            engine="parallel", workers=2, task_timeout=1.0,
+            fault_injection={"mode": "hang", "max_attempt": 1,
+                             "iteration": 1, "hang_seconds": 60},
+        )
+        assert result == serial
+        stats = eng.parallel_stats
+        assert stats["restarts"] == 1
+        assert not stats["broken"]
+
+    def test_worker_dies_mid_task_then_restart(self):
+        serial, _ = solve_closure()
+        result, eng = solve_closure(
+            engine="parallel", workers=2, task_timeout=10.0,
+            fault_injection={"mode": "exit", "max_attempt": 1,
+                             "iteration": 1},
+        )
+        assert result == serial
+        stats = eng.parallel_stats
+        assert stats["restarts"] == 1
+        assert not stats["broken"]
+        assert stats["failure_reason"] == "worker died mid-task"
+
+    def test_worker_dies_always_falls_back_to_serial(self):
+        serial, _ = solve_closure()
+        result, eng = solve_closure(
+            engine="parallel", workers=2, task_timeout=1.0,
+            fault_injection={"mode": "exit", "max_attempt": 99},
+        )
+        assert result == serial
+        stats = eng.parallel_stats
+        assert stats["broken"]
+        assert stats["serial_fallback_tasks"] > 0
+
+    def test_failure_recorded_in_telemetry(self):
+        from repro import telemetry
+
+        tel = telemetry.enable()
+        try:
+            result, eng = solve_closure(
+                engine="parallel", workers=2,
+                fault_injection={"mode": "raise", "max_attempt": 99},
+            )
+            names = {s.name for s in tel.tracer.spans}
+            assert "parallel.failure" in names
+            assert "parallel.task_error" in names
+        finally:
+            telemetry.disable()
+        serial, _ = solve_closure()
+        assert result == serial
+
+    def test_parallel_telemetry_spans(self):
+        from repro import telemetry
+
+        tel = telemetry.enable()
+        try:
+            solve_closure(engine="parallel", workers=2)
+            names = {s.name for s in tel.tracer.spans}
+            assert {"parallel.serialize", "parallel.dispatch",
+                    "parallel.merge", "parallel.task"} <= names
+            task_spans = [s for s in tel.tracer.spans
+                          if s.name == "parallel.task"]
+            assert all("worker" in s.args and "bytes_out" in s.args
+                       and "nodes_created" in s.args
+                       for s in task_spans)
+        finally:
+            telemetry.disable()
