@@ -5,6 +5,7 @@ Usage::
     python -m repro.jedd.cli input.jedd -o output.py   # translate
     python -m repro.jedd.cli input.jedd --stats        # Table-1 numbers
     python -m repro.jedd.cli input.jedd --dump-ast     # pretty-print
+    python -m repro.jedd.cli input.jedd --explain      # planner EXPLAIN
     python -m repro.jedd.cli input.jedd --trace t.json # run under telemetry
 
 Like the paper's jeddc, the output is an ordinary source file (here
@@ -52,6 +53,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-liveness",
         action="store_true",
         help="skip the liveness analysis (no eager frees)",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the planner's chosen evaluation order and per-step "
+        "cost estimates for every relational expression, then exit",
     )
     parser.add_argument(
         "--trace",
@@ -118,6 +125,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except (LexError, ParseError, TypeError_, AssignmentError) as err:
         print(f"jeddc: error: {err}", file=sys.stderr)
         return 1
+    if args.explain:
+        from repro.jedd.explain import explain_program
+
+        print(explain_program(compiled.tp, compiled.assignment))
+        return 0
     if args.trace:
         return _run_traced(compiled, args.trace)
     if args.stats:

@@ -1,0 +1,144 @@
+"""Static EXPLAIN over a compiled Jedd program (``jeddc --explain``).
+
+The compiler knows every expression's shape and the assignment's
+physical-domain placements before any relation holds data, so the
+planner can be asked — statically — what order it would evaluate each
+join/compose chain in and what each step is expected to cost.  Weights
+come from the declared domain sizes (``default_weight(..., static=True)``),
+the same estimates the runtime planner falls back to on empty inputs.
+
+Every relational expression in the program is lowered through the one
+shared :class:`~repro.jedd.lower.Lowerer` and each product inside it is
+planned and reported, labelled with its source site: global and local
+initializers, assignment right-hand sides, call arguments, condition
+operands, ``print`` operands, and — individually — each rule of a
+``fix { }`` block, whose per-rule plans are exactly the pipelines the
+semi-naive engine runs per iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.jedd import ast
+from repro.jedd.assignment import AssignmentResult
+from repro.jedd.lower import Lowerer
+from repro.jedd.typecheck import TypedProgram
+from repro.relations.domain import Universe
+from repro.relations.ir import (
+    PlanReport,
+    default_weight,
+    format_reports,
+    static_reports,
+)
+
+__all__ = ["explain_program"]
+
+
+def _bare_universe(tp: TypedProgram) -> Universe:
+    """The program's universe with declarations only — no data, no
+    finalize; enough for attribute-to-domain lookups and static
+    weights."""
+    universe = Universe()
+    for name, size in tp.domains.items():
+        universe.domain(name, size)
+    for name, domain in tp.attributes.items():
+        universe.attribute(name, universe.get_domain(domain))
+    for name, bits in tp.physdoms.items():
+        universe.physical_domain(name, bits)
+    return universe
+
+
+def explain_program(
+    tp: TypedProgram,
+    assignment: AssignmentResult,
+    optimize: bool = True,
+) -> str:
+    """Plan every product in the program statically and pretty-print
+    the chosen orders with per-step cost estimates."""
+    universe = _bare_universe(tp)
+    weight = default_weight(universe, static=True)
+    lowerer = Lowerer(assignment)
+    reports: List[PlanReport] = []
+
+    def var_pds(func: Optional[str], name: str) -> Dict[str, str]:
+        info = tp.lookup_var(func, name)
+        return assignment.owner_domains[("var", info.var_id)]
+
+    def add(
+        expr: ast.Expr,
+        label: str,
+        into: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if isinstance(expr, ast.ConstRel):
+            return  # 0B/1B copy the target shape; nothing to plan
+        if into is not None:
+            lowered = lowerer.lower_into(expr, into)
+        else:
+            lowered = lowerer.lower(expr)
+        _, found = static_reports(
+            lowered.node, weight, optimize=optimize, label=label
+        )
+        reports.extend(found)
+
+    def site(func: Optional[str], stmt) -> str:
+        return f"{func or '<global>'}:{stmt.pos}"
+
+    def walk_stmt(stmt, func: Optional[str]) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                add(
+                    stmt.init,
+                    f"{site(func, stmt)} {stmt.name} =",
+                    into=var_pds(func, stmt.name),
+                )
+        elif isinstance(stmt, ast.AssignStmt):
+            add(
+                stmt.value,
+                f"{site(func, stmt)} {stmt.target} {stmt.op}",
+                into=var_pds(func, stmt.target),
+            )
+        elif isinstance(stmt, ast.CallStmt):
+            params = tp.functions[stmt.name].params
+            for arg, param in zip(stmt.args, params):
+                add(
+                    arg,
+                    f"{site(func, stmt)} {stmt.name}({param.name}=)",
+                    into=assignment.owner_domains[("var", param.var_id)],
+                )
+        elif isinstance(stmt, (ast.ExprStmt, ast.PrintStmt)):
+            add(stmt.expr, site(func, stmt))
+        elif isinstance(stmt, ast.IfStmt):
+            walk_cond(stmt.cond, func, site(func, stmt))
+            walk_block(stmt.then_block, func)
+            if stmt.else_block is not None:
+                walk_block(stmt.else_block, func)
+        elif isinstance(stmt, ast.WhileStmt):
+            walk_cond(stmt.cond, func, site(func, stmt))
+            walk_block(stmt.body, func)
+        elif isinstance(stmt, ast.DoWhileStmt):
+            walk_block(stmt.body, func)
+            walk_cond(stmt.cond, func, site(func, stmt))
+        elif isinstance(stmt, ast.FixStmt):
+            for rule in stmt.body:
+                add(
+                    rule.value,
+                    f"{site(func, rule)} fix {rule.target} |=",
+                    into=var_pds(func, rule.target),
+                )
+
+    def walk_cond(cond: ast.Compare, func: Optional[str], where: str) -> None:
+        for name, expr in (("lhs", cond.left), ("rhs", cond.right)):
+            add(expr, f"{where} cond {name}")
+
+    def walk_block(block: ast.Block, func: Optional[str]) -> None:
+        for stmt in block.stmts:
+            walk_stmt(stmt, func)
+
+    for decl in tp.program.decls:
+        if isinstance(decl, ast.VarDecl):
+            walk_stmt(decl, None)
+        elif isinstance(decl, ast.FuncDecl):
+            walk_block(decl.body, decl.name)
+
+    return format_reports(reports)

@@ -21,6 +21,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 from repro.jedd import ast
 from repro.jedd.assignment import AssignmentResult
 from repro.jedd.constraints import ConstraintGraph
+from repro.jedd.lower import NEW_BINDING, LoweredExpr, Lowerer
 from repro.jedd.typecheck import TypedProgram, VarInfo
 from repro import telemetry as _telemetry
 from repro.relations import (
@@ -28,6 +29,7 @@ from repro.relations import (
     Relation,
     RelationContainer,
     Universe,
+    ir,
 )
 
 __all__ = ["Interpreter", "JeddRuntimeError"]
@@ -83,6 +85,11 @@ class Interpreter:
         #: replace operations actually performed (for the Table 2 story
         #: and the profiler): list of (position, attribute moves) pairs.
         self.replace_log: List[Tuple[ast.Position, Dict[str, str]]] = []
+        #: the shared expression lowering and the plan cache every
+        #: statement's products go through.
+        self._lowerer = Lowerer(assignment)
+        self._planner = ir.Planner()
+        self._weight = ir.default_weight(self.universe)
         #: expr_id of a VarRef -> delta override, set while a ``fix``
         #: rule is re-evaluated against the previous iteration's delta.
         self._fix_override: Dict[int, Relation] = {}
@@ -372,26 +379,8 @@ class Interpreter:
             pds = [target_pds[a] for a in attrs]
             maker = Relation.full if expr.full else Relation.empty
             return maker(self.universe, attrs, pds)
-        value = self._eval(expr, func, frame)
-        return self._to_wrapper(expr, value, target_pds)
-
-    def _to_wrapper(
-        self,
-        expr: ast.Expr,
-        value: Relation,
-        target_pds: Dict[str, str],
-    ) -> Relation:
-        """Apply the wrapper replace above ``expr`` if domains moved."""
-        source_pds = self._expr_pds(expr)
-        moves = {
-            attr: pd
-            for attr, pd in target_pds.items()
-            if source_pds.get(attr) != pd
-        }
-        if moves:
-            self.replace_log.append((expr.pos, moves))
-            return value.replace(moves)
-        return value
+        lowered = self._lowerer.lower_into(expr, target_pds)
+        return self._eval_lowered(lowered, func, frame)
 
     def _eval_cond(
         self, cond: ast.Compare, func: Optional[str], frame: Dict
@@ -435,73 +424,57 @@ class Interpreter:
             # Equality edges force a use into its variable's domains.
             return container.get()
         if isinstance(expr, ast.NewRel):
-            pds = self._expr_pds(expr)
-            values: Dict[str, Hashable] = {}
-            for piece in expr.pieces:
-                if piece.is_string:
-                    obj: Hashable = piece.value
-                else:
-                    if piece.value not in self.host_env:
-                        raise JeddRuntimeError(
-                            f"host object {piece.value!r} not provided "
-                            f"(literal at {piece.pos})"
-                        )
-                    obj = self.host_env[piece.value]
-                values[piece.attr] = obj
-            return Relation.from_tuple(
-                self.universe, values, {a: pds[a] for a in values}
-            )
-        if isinstance(expr, ast.SetOp):
-            pds = self._expr_pds(expr)
-            left = self._branch(expr.left, pds, func, frame)
-            right = self._branch(expr.right, pds, func, frame)
-            if expr.op == "|":
-                return left | right
-            if expr.op == "&":
-                return left & right
-            return left - right
-        if isinstance(expr, ast.ReplaceOp):
-            value = self._branch_to_wrapper(expr.operand, func, frame)
-            own_pds = self._expr_pds(expr)
-            for rep in expr.replacements:
-                if not rep.targets:
-                    value = value.project_away(rep.source)
-                elif len(rep.targets) == 1:
-                    if rep.targets[0] != rep.source:
-                        value = value.rename({rep.source: rep.targets[0]})
-                else:
-                    b, c = rep.targets
-                    value = value.copy(rep.source, [b, c], [own_pds[c]])
-            return value
-        if isinstance(expr, ast.JoinOp):
-            left = self._branch_to_wrapper(expr.left, func, frame)
-            right = self._branch_to_wrapper(expr.right, func, frame)
-            if expr.op == "><":
-                return left.join(right, expr.left_attrs, expr.right_attrs)
-            return left.compose(right, expr.left_attrs, expr.right_attrs)
+            return self._make_new(expr)
         if isinstance(expr, ast.ConstRel):
             raise JeddRuntimeError(
                 f"relation constant needs a context at {expr.pos}"
             )
-        raise JeddRuntimeError(f"unknown expression {type(expr).__name__}")
+        lowered = self._lowerer.lower(expr)
+        return self._eval_lowered(lowered, func, frame)
 
-    def _branch(
-        self,
-        child: ast.Expr,
-        parent_pds: Dict[str, str],
-        func: Optional[str],
-        frame: Dict,
-    ) -> Relation:
-        """Evaluate a set-operation operand and align it to the parent."""
-        value = self._eval(child, func, frame)
-        return self._to_wrapper(child, value, parent_pds)
+    def _make_new(self, expr: ast.NewRel) -> Relation:
+        pds = self._expr_pds(expr)
+        values: Dict[str, Hashable] = {}
+        for piece in expr.pieces:
+            if piece.is_string:
+                obj: Hashable = piece.value
+            else:
+                if piece.value not in self.host_env:
+                    raise JeddRuntimeError(
+                        f"host object {piece.value!r} not provided "
+                        f"(literal at {piece.pos})"
+                    )
+                obj = self.host_env[piece.value]
+            values[piece.attr] = obj
+        return Relation.from_tuple(
+            self.universe, values, {a: pds[a] for a in values}
+        )
 
-    def _branch_to_wrapper(
-        self, child: ast.Expr, func: Optional[str], frame: Dict
+    def _eval_lowered(
+        self, lowered: LoweredExpr, func: Optional[str], frame: Dict
     ) -> Relation:
-        """Evaluate an operand and move it into its wrapper's domains."""
-        value = self._eval(child, func, frame)
-        wrap_pds = self._wrap_pds(child)
-        if wrap_pds is None:
-            return value
-        return self._to_wrapper(child, value, wrap_pds)
+        """Bind the lowered expression's leaf slots and run it through
+        the planner-backed IR evaluator."""
+        env: Dict[str, Relation] = {}
+        for binding in lowered.bindings:
+            if binding[0] == NEW_BINDING:
+                _, slot, new_expr = binding
+                env[slot] = self._make_new(new_expr)
+                continue
+            _, slot, name, expr_id = binding
+            override = self._fix_override.get(expr_id)
+            if override is not None:
+                env[slot] = override
+            else:
+                env[slot] = self._lookup_container(name, func, frame).get()
+        ctx = ir.EvalContext(
+            self.universe,
+            env,
+            planner=self._planner,
+            weight=self._weight,
+            on_replace=self._log_replace,
+        )
+        return ir.evaluate(lowered.node, ctx)
+
+    def _log_replace(self, tag: object, moves: Dict[str, str]) -> None:
+        self.replace_log.append((tag, dict(moves)))

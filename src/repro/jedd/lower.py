@@ -1,0 +1,186 @@
+"""Lowering type-checked Jedd expressions to the relational IR.
+
+The interpreter and the code generator used to walk the expression AST
+with their own recursive evaluators, hard-coding the source's operation
+order.  This module is the single lowering they now share: an expression
+becomes an :mod:`repro.relations.ir` tree plus *bindings* that say how
+to fill each leaf slot at evaluation time (read a variable's container,
+or build a ``new { ... }`` literal).  Join/compose chains flatten into
+n-ary products the planner is free to reorder; set operations, replaces
+and copies map to their IR nodes one-for-one.
+
+Wrapper replaces (section 3.3.2) become :class:`ir.Replace` nodes
+carrying the wrapper's **complete** physical-domain map, not just the
+moves the assignment predicts.  The executor applies them dynamically
+(attributes already in place cost nothing) — this matters because the
+planner may evaluate a product in an order whose intermediate placements
+differ from what the assignment modelled, and a static move list applied
+to a drifted relation could silently land two attributes in one physical
+domain.  The full map re-pins every attribute, so placements are exact
+again at every wrapper boundary, and ``on_replace`` still reports only
+the moves that actually happened.
+
+Lowering is deterministic and cached per ``expr_id``: one lowered tree
+serves every evaluation of the expression (loop bodies, ``fix``
+iterations with delta overrides — the override only changes what a slot
+binds to, never the tree).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.jedd import ast
+from repro.jedd.assignment import AssignmentResult
+from repro.relations import ir
+from repro.relations.domain import JeddError
+
+__all__ = ["LoweredExpr", "Lowerer", "VAR_BINDING", "NEW_BINDING"]
+
+#: Binding kinds: ``("var", slot, name, expr_id)`` reads a variable (or
+#: its ``fix`` delta override), ``("new", slot, NewRel)`` builds a
+#: single-tuple literal.
+VAR_BINDING = "var"
+NEW_BINDING = "new"
+
+
+class LoweredExpr:
+    """An IR tree plus the leaf bindings that feed it."""
+
+    __slots__ = ("node", "bindings")
+
+    def __init__(self, node: ir.Node, bindings: Tuple[tuple, ...]) -> None:
+        self.node = node
+        self.bindings = bindings
+
+
+class Lowerer:
+    """Shared, cached lowering over one program's domain assignment."""
+
+    def __init__(self, assignment: AssignmentResult, tags: bool = True) -> None:
+        self.assignment = assignment
+        #: tag wrapper replaces with their source positions (the
+        #: interpreter's replace log); the code generator turns this off
+        #: so lowered trees serialize to plain Python source.
+        self.tags = tags
+        self._plain: Dict[int, LoweredExpr] = {}
+        self._into: Dict[int, LoweredExpr] = {}
+
+    # -- assignment lookups -------------------------------------------
+
+    def _expr_pds(self, expr: ast.Expr) -> Dict[str, str]:
+        return self.assignment.owner_domains[("expr", expr.expr_id)]
+
+    def _wrap_pds(self, expr: ast.Expr) -> Optional[Dict[str, str]]:
+        return self.assignment.owner_domains.get(("wrap", expr.expr_id))
+
+    # -- public entry points ------------------------------------------
+
+    def lower(self, expr: ast.Expr) -> LoweredExpr:
+        """Lower ``expr`` at its own assigned physical domains."""
+        cached = self._plain.get(expr.expr_id)
+        if cached is None:
+            node, bindings = self._lower(expr)
+            cached = LoweredExpr(node, tuple(bindings))
+            self._plain[expr.expr_id] = cached
+        return cached
+
+    def lower_into(
+        self, expr: ast.Expr, target_pds: Dict[str, str]
+    ) -> LoweredExpr:
+        """Lower ``expr`` wrapped so the result lands exactly in
+        ``target_pds`` (the assignment wrapper over an assignment's
+        right-hand side or a call argument)."""
+        cached = self._into.get(expr.expr_id)
+        if cached is None:
+            plain = self.lower(expr)
+            tag = getattr(expr, "pos", None) if self.tags else None
+            node = ir.replace(plain.node, dict(target_pds), tag=tag)
+            cached = LoweredExpr(node, plain.bindings)
+            self._into[expr.expr_id] = cached
+        return cached
+
+    # -- the lowering ---------------------------------------------------
+
+    def _lower(self, expr: ast.Expr) -> Tuple[ir.Node, List[tuple]]:
+        if isinstance(expr, ast.VarRef):
+            slot = f"v{expr.expr_id}"
+            node = ir.leaf(slot, expr.schema)
+            return node, [(VAR_BINDING, slot, expr.name, expr.expr_id)]
+        if isinstance(expr, ast.NewRel):
+            slot = f"n{expr.expr_id}"
+            node = ir.leaf(slot, expr.schema)
+            return node, [(NEW_BINDING, slot, expr)]
+        if isinstance(expr, ast.SetOp):
+            pds = self._expr_pds(expr)
+            left, lb = self._branch(expr.left, pds)
+            right, rb = self._branch(expr.right, pds)
+            ctor = {
+                "|": ir.union, "&": ir.intersect, "-": ir.diff,
+            }[expr.op]
+            return ctor(left, right), lb + rb
+        if isinstance(expr, ast.ReplaceOp):
+            node, bindings = self._branch_to_wrapper(expr.operand)
+            own_pds = self._expr_pds(expr)
+            for rep in expr.replacements:
+                if not rep.targets:
+                    node = ir.project(node, (rep.source,))
+                elif len(rep.targets) == 1:
+                    node = ir.rename(node, {rep.source: rep.targets[0]})
+                else:
+                    b, c = rep.targets
+                    node = ir.copy(node, rep.source, [b, c], [own_pds[c]])
+            return node, bindings
+        if isinstance(expr, ast.JoinOp):
+            return self._lower_join(expr)
+        if isinstance(expr, ast.ConstRel):
+            raise JeddError(
+                f"relation constant needs a context at {expr.pos}"
+            )
+        raise JeddError(f"cannot lower {type(expr).__name__}")
+
+    def _lower_join(
+        self, expr: ast.JoinOp
+    ) -> Tuple[ir.Node, List[tuple]]:
+        left, lb = self._branch_to_wrapper(expr.left)
+        right, rb = self._branch_to_wrapper(expr.right)
+        # The runtime compares positionally and keeps (join) or drops
+        # (compose) the compared columns under the LEFT names; renaming
+        # the right side's compared attributes makes the product's
+        # natural join perform exactly that comparison.
+        node = ir.positional_join(
+            left,
+            right,
+            expr.left_attrs,
+            expr.right_attrs,
+            expr.op == "><",
+        )
+        return node, lb + rb
+
+    def _wrap(
+        self,
+        child: ast.Expr,
+        node: ir.Node,
+        target_pds: Dict[str, str],
+    ) -> ir.Node:
+        tag = child.pos if self.tags else None
+        return ir.replace(node, dict(target_pds), tag=tag)
+
+    def _branch(
+        self, child: ast.Expr, parent_pds: Dict[str, str]
+    ) -> Tuple[ir.Node, List[tuple]]:
+        """A set-operation operand, aligned to the parent's domains."""
+        node, bindings = self._lower(child)
+        return self._wrap(child, node, parent_pds), bindings
+
+    def _branch_to_wrapper(
+        self, child: ast.Expr
+    ) -> Tuple[ir.Node, List[tuple]]:
+        """An operand moved into its wrapper's domains (if it has any —
+        wrappers the assignment collapsed disappear entirely, which is
+        what lets nested products flatten for the planner)."""
+        node, bindings = self._lower(child)
+        wrap_pds = self._wrap_pds(child)
+        if wrap_pds is None:
+            return node, bindings
+        return self._wrap(child, node, wrap_pds), bindings

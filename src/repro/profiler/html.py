@@ -108,11 +108,62 @@ def _write_sites_page(db_path: str, out_dir: str) -> None:
         sections.append(
             f"<h2>(no program point)</h2><table>{''.join(rows)}</table>"
         )
+    sections.extend(_plan_sections(db_path))
     body = (
         "".join(sections) or "<p>(no kernel spans recorded)</p>"
     ) + "<p><a href='index.html'>back</a></p>"
     with open(os.path.join(out_dir, "sites.html"), "w") as f:
         f.write(_page("Per-site kernel breakdown", body))
+
+
+def _plan_sections(db_path: str) -> List[str]:
+    """The planner view on ``sites.html``: per program point, the plan
+    the query planner chose (join order, estimated vs actual node
+    counts, estimate error), plus advisor hints for the sites whose
+    actuals diverged at least 10x from the cost model."""
+    plans = sql.load_plans(db_path)
+    if not plans:
+        return []
+    rows = [
+        "<tr><th class='op'>site</th><th class='op'>plan</th>"
+        "<th class='op'>join order</th><th>runs</th>"
+        "<th>est nodes</th><th>actual nodes</th><th>error</th></tr>"
+    ]
+    grouped: dict = {}
+    for plan in plans:
+        key = (plan["site"], plan["label"], tuple(plan["order"]))
+        grouped.setdefault(key, []).append(plan)
+    for (site, label, order), runs in sorted(grouped.items()):
+        worst = max(
+            runs, key=lambda p: p["estimate_error"] or 0.0
+        )
+        parts = worst["parts"]
+        order_text = " > ".join(
+            parts[i] if i < len(parts) else f"part {i}" for i in order
+        )
+        error = worst["estimate_error"]
+        error_text = f"x{error:.1f}" if error is not None else "-"
+        if error is not None and error >= 10.0:
+            error_text = f"<b>{error_text} &#9888;</b>"
+        rows.append(
+            f"<tr><td class='op'>{html.escape(site or '(none)')}</td>"
+            f"<td class='op'>{html.escape(label) if label else '&lt;product&gt;'}</td>"
+            f"<td class='op'>{html.escape(order_text)}</td>"
+            f"<td>{len(runs)}</td><td>{worst['est_nodes']:.0f}</td>"
+            f"<td>{worst['actual_nodes']:.0f}</td>"
+            f"<td>{error_text}</td></tr>"
+        )
+    sections = [f"<h2>Chosen query plans</h2><table>{''.join(rows)}</table>"]
+    from repro.profiler.advisor import plan_hints
+
+    hints = plan_hints(plans)
+    if hints:
+        items = "".join(f"<li>{html.escape(h)}</li>" for h in hints)
+        sections.append(
+            "<h2>Planner hints</h2>"
+            f"<ul class='hints'>{items}</ul>"
+        )
+    return sections
 
 
 def generate_report(db_path: str, out_dir: str) -> str:

@@ -36,8 +36,14 @@ _INSTRUMENTED = [
     "copy",
     "join",
     "compose",
+    "compose_pipeline",
     "replace",
 ]
+
+#: Operations that realise a (possibly planner-reordered) relational
+#: product -- the ops callers should match when looking for "the join
+#: at this site" now that joins lower through the query planner.
+JOIN_OPS = ("join", "compose", "compose_pipeline")
 
 
 @dataclass

@@ -28,6 +28,7 @@ __all__ = [
     "load_shape",
     "load_sites",
     "load_site_kernel_breakdown",
+    "load_plans",
     "has_spans",
 ]
 
@@ -209,6 +210,54 @@ def load_sites(db_path: str) -> List[Tuple[str, int, float]]:
             "GROUP BY site ORDER BY SUM(seconds) DESC"
         ).fetchall()
         return [(site, int(n), float(t)) for site, n, t in rows]
+    finally:
+        conn.close()
+
+
+def load_plans(db_path: str, site: Optional[str] = None) -> List[dict]:
+    """Executed query plans (``plan.explain`` spans, category
+    ``planner``): one dict per execution with ``site``, ``label``,
+    ``optimized``, ``order``, ``parts``, ``est_nodes``,
+    ``actual_nodes``, ``estimate_error``, ``seconds`` and the per-step
+    ``steps`` rows — the data the planner section of ``sites.html``
+    and the advisor's divergence hints are built from."""
+    conn = sqlite3.connect(db_path)
+    try:
+        row = conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' AND name='spans'"
+        ).fetchone()
+        if row is None:
+            return []
+        query = (
+            "SELECT site, seconds, args FROM spans "
+            "WHERE cat = 'planner' AND name = 'plan.explain'"
+        )
+        params: Tuple = ()
+        if site is not None:
+            query += " AND site = ?"
+            params = (site,)
+        query += " ORDER BY rowid"
+        plans = []
+        for span_site, seconds, args_json in conn.execute(query, params):
+            args = json.loads(args_json)
+            error = args.get("estimate_error")
+            plans.append(
+                {
+                    "site": span_site,
+                    "label": args.get("label", ""),
+                    "optimized": bool(args.get("optimized")),
+                    "order": args.get("order", []),
+                    "parts": args.get("parts", []),
+                    "est_nodes": float(args.get("est_nodes", 0.0)),
+                    "actual_nodes": float(args.get("actual_nodes", 0.0)),
+                    "estimate_error": (
+                        float(error) if error is not None else None
+                    ),
+                    "seconds": float(seconds),
+                    "steps": args.get("steps", []),
+                }
+            )
+        return plans
     finally:
         conn.close()
 

@@ -33,13 +33,22 @@ from repro.relations.io import (
     save_tsv,
 )
 from repro.relations.relation import Relation, Schema
-from repro.relations.fixpoint import Atom, FixpointEngine, Rule, eval_rule_body
+from repro.relations import ir
+from repro.relations.fixpoint import (
+    Atom,
+    FixpointEngine,
+    Rule,
+    eval_rule_body,
+    execute_rule_plan,
+)
 from repro.relations.parallel import ParallelExecutor
 
 __all__ = [
     "Atom",
     "ParallelExecutor",
     "eval_rule_body",
+    "execute_rule_plan",
+    "ir",
     "load_checkpoint_binary",
     "save_checkpoint_binary",
     "Attribute",

@@ -180,6 +180,7 @@ class Universe:
         self.manager: Optional[BDDManager | ZDDManager] = None
         self._scratch_counter = 0
         self._scopes: List["RelationScope"] = []
+        self._plan_epoch = 0
 
     def set_bit_order(self, groups: List[List[str]]) -> None:
         """Fix the relative bit ordering of the physical domains.
@@ -419,6 +420,30 @@ class Universe:
         return _backend_for(self.manager).reorder(
             groups=groups, max_growth=max_growth
         )
+
+    # ------------------------------------------------------------------
+    # Plan cache generations
+    # ------------------------------------------------------------------
+
+    @property
+    def plan_generation(self) -> int:
+        """Cache generation for the query planner (``repro.relations.ir``).
+
+        Cached plans are keyed by (shape, generation): the generation
+        advances with every dynamic reordering pass — node-count
+        estimates predating a reorder are stale — and with every
+        explicit :meth:`invalidate_plans` call.
+        """
+        gen = self._plan_epoch
+        if self.manager is not None:
+            gen += self.manager.stats.reorder_runs
+        return gen
+
+    def invalidate_plans(self) -> None:
+        """Force re-planning: bump the generation every cached query
+        plan is keyed under (e.g. after bulk-loading relations whose
+        sizes bear no resemblance to what the planner saw)."""
+        self._plan_epoch += 1
 
     # ------------------------------------------------------------------
     # Encoding helpers

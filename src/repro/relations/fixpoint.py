@@ -24,10 +24,17 @@ of tuples with at least one delta tuple is covered by some occurrence
 binding, this derives exactly the tuples the naive loop would — the
 differential test suite checks that tuple-for-tuple on both backends.
 
-Rule bodies are evaluated with :meth:`Relation.compose_pipeline`, so on
-the BDD backend each body atom costs one fused ``and_exist`` kernel
-call over the (small) delta instead of a join + projection over the
-full relation.
+Rule bodies are lowered to the query planner
+(:mod:`repro.relations.ir`): each rule becomes one planned n-ary
+product — conjuncts reordered by estimated cost, the delta atom
+anchored first, dead variables quantified out at the earliest step —
+executed through :meth:`Relation.compose_pipeline`, so on the BDD
+backend each planned step is still one fused ``and_exist`` kernel call
+over the (small) delta instead of a join + projection over the full
+relation.  Plans are cached per (rule shape, delta binding, universe
+plan generation); pass ``optimize=False`` to keep the source's
+left-to-right conjunct order (the baseline the differential suite
+compares against).
 
 Rule syntax
 -----------
@@ -69,9 +76,28 @@ from typing import (
 
 from repro import telemetry as _telemetry
 from repro.relations.domain import JeddError, Universe
+from repro.relations.ir.execute import (
+    PlanReport,
+    _schema_sig,
+    default_weight,
+    run_product_plan,
+)
+from repro.relations.ir.planner import (
+    Estimate,
+    Planner,
+    RulePlan,
+    plan_rule,
+)
 from repro.relations.relation import Relation
 
-__all__ = ["Atom", "Rule", "FixpointEngine", "eval_rule_body"]
+__all__ = [
+    "Atom",
+    "Rule",
+    "FixpointEngine",
+    "eval_rule_body",
+    "execute_rule_plan",
+    "rule_shape",
+]
 
 
 class Atom:
@@ -124,60 +150,159 @@ class Rule:
         return f"Rule({self.label})"
 
 
+def rule_shape(rule: Rule, head_names: Sequence[str]) -> tuple:
+    """The structural key a rule body plans under: everything the plan
+    depends on except the estimates — positive atoms (relation name and
+    variables, in source order), head variables and declared names, and
+    the negated atoms' variables."""
+    return (
+        tuple((a.name, a.vars) for a in rule.positive),
+        rule.head.vars,
+        tuple(head_names),
+        _neg_vars(rule),
+    )
+
+
+def _neg_vars(rule: Rule) -> Tuple[str, ...]:
+    seen = set()
+    for atom in rule.negated:
+        seen.update(atom.vars)
+    return tuple(sorted(seen))
+
+
+def _run_rule_plan(
+    rule: Rule,
+    plan: RulePlan,
+    rels: Sequence[Relation],
+    neg_value: Callable[[Atom], Relation],
+    label: str = "",
+    collect: Optional[List[PlanReport]] = None,
+    memo: Optional[dict] = None,
+) -> Relation:
+    """Execute a planned rule body against its bound atom relations.
+
+    ``memo`` (when given) is a common-subexpression cache shared across
+    rule bodies: the planned product is keyed by (plan, the input
+    relations' diagram nodes and physical-domain placements), so two
+    rules — or two delta bindings — computing the same product over the
+    same inputs evaluate it once.
+    """
+    mkey = None
+    cur = None
+    if memo is not None:
+        mkey = (
+            plan.product,
+            tuple((r.node, _schema_sig(r)) for r in rels),
+        )
+        cur = memo.get(mkey)
+    if cur is None:
+        cur = run_product_plan(
+            rels,
+            plan.product,
+            label=label,
+            part_labels=[repr(a) for a in rule.positive],
+            collect=collect,
+        )
+        if memo is not None:
+            memo[mkey] = cur
+    for atom in rule.negated:
+        neg = neg_value(atom)
+        cur = cur - cur.join(neg, list(atom.vars), list(atom.vars))
+    if plan.neg_drop:
+        cur = cur.project_away(*plan.neg_drop)
+    mapping = dict(plan.rename)
+    return cur.rename(mapping) if mapping else cur
+
+
+def execute_rule_plan(
+    rule: Rule,
+    plan: RulePlan,
+    atom_value: Callable[[Atom, bool], Relation],
+    neg_value: Callable[[Atom], Relation],
+    label: str = "",
+    collect: Optional[List[PlanReport]] = None,
+    memo: Optional[dict] = None,
+) -> Relation:
+    """Evaluate one rule body under a precomputed :class:`RulePlan`; the
+    shared core of the serial engine and the parallel workers
+    (:mod:`repro.relations.parallel`), which receive their plans over
+    the wire instead of re-deriving them.
+
+    ``atom_value(atom, use_delta)`` supplies each positive atom's
+    relation renamed to the atom's rule variables (the atom at
+    ``plan.delta_idx`` bound to its delta), ``neg_value(atom)`` likewise
+    for negated atoms.
+    """
+    rels = [
+        atom_value(atom, plan.delta_idx == i)
+        for i, atom in enumerate(rule.positive)
+    ]
+    return _run_rule_plan(
+        rule, plan, rels, neg_value,
+        label=label, collect=collect, memo=memo,
+    )
+
+
 def eval_rule_body(
     rule: Rule,
     delta_idx: Optional[int],
     atom_value: Callable[[Atom, bool], Relation],
     neg_value: Callable[[Atom], Relation],
     head_names: Sequence[str],
+    planner: Optional[Planner] = None,
+    label: str = "",
+    collect: Optional[List[PlanReport]] = None,
+    memo: Optional[dict] = None,
 ) -> Relation:
-    """Evaluate one rule body; the shared core of the serial engine and
-    the parallel workers (:mod:`repro.relations.parallel`).
+    """Plan and evaluate one rule body in a single call.
 
     Positive atom ``delta_idx`` (if any) is bound to its delta and the
-    others to the current full values; ``atom_value(atom, use_delta)``
-    supplies each positive atom's relation renamed to the atom's rule
-    variables, ``neg_value(atom)`` likewise for negated atoms.  The
-    result is renamed to ``head_names`` (the head relation's declared
-    attribute order).
+    others to the current full values; the result is renamed to
+    ``head_names`` (the head relation's declared attribute order).
+    The body is lowered through the query planner
+    (:func:`repro.relations.ir.plan_rule`); pass a shared
+    :class:`~repro.relations.ir.Planner` to cache plans across calls,
+    or none to plan from scratch each time.
     """
-    atoms = rule.positive
-    tail = set(rule.head.vars)
-    for atom in rule.negated:
-        tail.update(atom.vars)
-    needed_after: List[set] = [set() for _ in atoms]
-    needed_after[-1] = set(tail)
-    for i in range(len(atoms) - 2, -1, -1):
-        needed_after[i] = needed_after[i + 1] | set(atoms[i + 1].vars)
+    rels = [
+        atom_value(atom, delta_idx == i)
+        for i, atom in enumerate(rule.positive)
+    ]
+    universe = rels[0].universe
+    weight = default_weight(universe)
+    atom_vars = [a.vars for a in rule.positive]
 
-    cur = atom_value(atoms[0], delta_idx == 0)
-    cur_vars = set(atoms[0].vars)
-    steps: List[Tuple[Relation, List[str], List[str]]] = []
-    for i in range(1, len(atoms)):
-        atom = atoms[i]
-        other = atom_value(atom, delta_idx == i)
-        on = [v for v in atom.vars if v in cur_vars]
-        combined = cur_vars | set(atom.vars)
-        drop = sorted(combined - needed_after[i])
-        steps.append((other, on, drop))
-        cur_vars = combined - set(drop)
-    if steps:
-        cur = cur.compose_pipeline(steps)
+    def estimates() -> List[Estimate]:
+        return [
+            Estimate(float(r.size()), float(r.node_count())) for r in rels
+        ]
+
+    if planner is not None:
+        plan = planner.rule_plan(
+            rule_shape(rule, head_names),
+            universe.plan_generation,
+            atom_vars,
+            rule.head.vars,
+            _neg_vars(rule),
+            head_names,
+            estimates,
+            weight,
+            delta_idx,
+        )
     else:
-        dead = cur_vars - needed_after[0]
-        if dead:
-            cur = cur.project_away(*sorted(dead))
-            cur_vars -= dead
-    for atom in rule.negated:
-        neg = neg_value(atom)
-        cur = cur - cur.join(neg, list(atom.vars), list(atom.vars))
-    extra = sorted(cur_vars - set(rule.head.vars))
-    if extra:
-        cur = cur.project_away(*extra)
-    mapping = {
-        v: n for v, n in zip(rule.head.vars, head_names) if v != n
-    }
-    return cur.rename(mapping) if mapping else cur
+        plan = plan_rule(
+            atom_vars,
+            rule.head.vars,
+            _neg_vars(rule),
+            head_names,
+            estimates(),
+            weight,
+            delta_idx,
+        )
+    return _run_rule_plan(
+        rule, plan, rels, neg_value,
+        label=label or rule.label, collect=collect, memo=memo,
+    )
 
 
 class FixpointEngine:
@@ -192,6 +317,14 @@ class FixpointEngine:
     long the coordinator waits without progress before declaring a
     worker hung; ``fault_injection`` is the test hook shipped to the
     workers (see ``repro.relations.parallel``).
+
+    ``optimize=False`` turns the query planner's conjunct reordering
+    and early quantification off — rule bodies evaluate strictly left
+    to right with all projection at the end, the baseline the
+    differential suite compares the planner against.
+    ``collect_plans=True`` records one :class:`PlanReport` per executed
+    rule body on :attr:`plan_reports` (estimated and actual per-step
+    costs — the shell's ``explain`` output).
     """
 
     def __init__(
@@ -201,6 +334,8 @@ class FixpointEngine:
         workers: Optional[int] = None,
         task_timeout: Optional[float] = None,
         fault_injection: Optional[dict] = None,
+        optimize: bool = True,
+        collect_plans: bool = False,
     ) -> None:
         if engine not in ("seminaive", "parallel"):
             raise JeddError(
@@ -212,6 +347,14 @@ class FixpointEngine:
         self.workers = workers
         self.task_timeout = task_timeout
         self.fault_injection = fault_injection
+        self.optimize = optimize
+        self._planner = Planner(optimize=optimize)
+        self._weight = default_weight(universe)
+        self._memo: Optional[dict] = None
+        #: Executed-plan reports of the last :meth:`solve` (only
+        #: recorded when ``collect_plans`` is set).
+        self.collect_plans = collect_plans
+        self.plan_reports: List[PlanReport] = []
         self._facts: Dict[str, Relation] = {}
         self._seeds: Dict[str, Relation] = {}
         self._filters: Dict[str, Relation] = {}
@@ -373,17 +516,49 @@ class FixpointEngine:
             rel = self._facts[atom.name]
         return self._rename_to_vars(rel, atom)
 
+    def _neg_value(self, atom: Atom) -> Relation:
+        return self._rename_to_vars(self._facts[atom.name], atom)
+
+    def _rule_plan(self, rule: Rule, delta_idx: Optional[int]) -> RulePlan:
+        """The (cached) plan for one rule body with the given delta
+        binding; estimates are taken from the current delta/full/fact
+        values, but only when the plan cache misses."""
+        head_names = self._schema_of(rule.head.name).schema.names()
+
+        def estimates() -> List[Estimate]:
+            return [
+                Estimate(float(r.size()), float(r.node_count()))
+                for r in (
+                    self._atom_value(atom, delta_idx == i)
+                    for i, atom in enumerate(rule.positive)
+                )
+            ]
+
+        return self._planner.rule_plan(
+            rule_shape(rule, head_names),
+            self.universe.plan_generation,
+            [a.vars for a in rule.positive],
+            rule.head.vars,
+            _neg_vars(rule),
+            head_names,
+            estimates,
+            self._weight,
+            delta_idx,
+        )
+
     def _eval_rule(
         self, rule: Rule, delta_idx: Optional[int]
     ) -> Relation:
         """One rule body, with positive atom ``delta_idx`` (if any)
         bound to its delta and the others to the current full values."""
-        return eval_rule_body(
+        return execute_rule_plan(
             rule,
-            delta_idx,
+            self._rule_plan(rule, delta_idx),
             self._atom_value,
-            lambda atom: self._rename_to_vars(self._facts[atom.name], atom),
-            self._schema_of(rule.head.name).schema.names(),
+            self._neg_value,
+            label=rule.label,
+            collect=self.plan_reports if self.collect_plans else None,
+            memo=self._memo,
         )
 
     def _apply_filter(self, name: str, rel: Relation) -> Relation:
@@ -417,6 +592,7 @@ class FixpointEngine:
         self.iterations = 0
         self.rule_evaluations = 0
         self.parallel_stats = None
+        self.plan_reports = []
         if self.engine == "parallel":
             from repro.relations.parallel import ParallelExecutor
 
@@ -447,15 +623,19 @@ class FixpointEngine:
                 static_rules = [
                     r for r in self._rules if not r.recursive_positions
                 ]
-                for rule in static_rules:
-                    self.rule_evaluations += 1
-                    with tel.span("fixpoint.rule", cat="fixpoint",
-                                  rule=rule.label, iteration=0):
-                        out = self._apply_filter(
-                            rule.head.name, self._eval_rule(rule, None)
-                        )
-                    self._full[rule.head.name] = \
-                        self._full[rule.head.name] | out
+                self._memo = {}
+                try:
+                    for rule in static_rules:
+                        self.rule_evaluations += 1
+                        with tel.span("fixpoint.rule", cat="fixpoint",
+                                      rule=rule.label, iteration=0):
+                            out = self._apply_filter(
+                                rule.head.name, self._eval_rule(rule, None)
+                            )
+                        self._full[rule.head.name] = \
+                            self._full[rule.head.name] | out
+                finally:
+                    self._memo = None
                 for name in self._order:
                     self._delta[name] = self._full[name]
                 while any(
@@ -506,6 +686,13 @@ class FixpointEngine:
             for pos in rule.recursive_positions:
                 if not self._delta[rule.positive[pos].name].is_empty():
                     tasks.append((ri, pos))
+        # The coordinator plans; workers only execute.  Shipping the
+        # plan keeps every process on the identical schedule (and saves
+        # the workers the satcount estimates).
+        plans = {
+            (ri, pos): self._rule_plan(self._rules[ri], pos)
+            for ri, pos in tasks
+        }
         outs = self._executor.evaluate_round(
             tasks,
             self._delta,
@@ -513,6 +700,7 @@ class FixpointEngine:
             lambda ri, pos: self._eval_rule(self._rules[ri], pos),
             tel,
             it,
+            plans=plans,
         )
         acc: Dict[str, Relation] = {}
         for (ri, _pos), out in zip(tasks, outs):
@@ -533,10 +721,19 @@ class FixpointEngine:
             # rule bodies allocate dies here; only the new delta and
             # full relations are kept.
             with self.universe.scope() as scope:
-                if self._executor is not None and not self._executor.broken:
-                    acc = self._evaluate_rules_parallel(tel, it)
-                else:
-                    acc = self._evaluate_rules_serial(tel, it)
+                # The per-round CSE memo holds intermediates that die
+                # with this scope; it must not outlive the round.
+                self._memo = {}
+                try:
+                    if (
+                        self._executor is not None
+                        and not self._executor.broken
+                    ):
+                        acc = self._evaluate_rules_parallel(tel, it)
+                    else:
+                        acc = self._evaluate_rules_serial(tel, it)
+                finally:
+                    self._memo = None
                 for name in self._order:
                     contrib = acc.get(name)
                     if contrib is None:

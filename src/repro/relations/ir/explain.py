@@ -1,0 +1,155 @@
+"""Static EXPLAIN: plan IR trees from estimates alone, without data.
+
+``jeddc --explain`` runs before any relation exists, so the planner is
+fed purely static estimates — an attribute's weight is its domain's
+declared maximum size, a leaf's cardinality the (capped) product of its
+attributes' weights.  The shell's ``explain`` command prefers the
+dynamic path (evaluate with a ``collect`` list, which also reports
+actuals); this module is the fallback shared by both when only shapes
+are known.
+"""
+
+from __future__ import annotations
+
+from math import log2
+from typing import Callable, List, Optional, Tuple
+
+from repro.relations.ir.execute import PlanReport, _part_label
+from repro.relations.ir.nodes import (
+    Copy,
+    Diff,
+    Filter,
+    Intersect,
+    Leaf,
+    Match,
+    Node,
+    Product,
+    Project,
+    Rename,
+    Replace,
+    Union,
+)
+from repro.relations.ir.planner import (
+    Estimate,
+    plan_product,
+)
+
+__all__ = ["static_reports", "format_reports"]
+
+_CAP = 1e18
+
+
+def _leaf_estimate(
+    node: Leaf, weight: Callable[[str], float]
+) -> Estimate:
+    card = 1.0
+    bits = 0.0
+    for a in sorted(node.attrs):
+        w = max(weight(a), 1.0)
+        card = min(card * w, _CAP)
+        bits += max(1.0, log2(max(w, 2.0)))
+    return Estimate(card, min(card, max(card, 1.0) * bits, _CAP))
+
+
+def static_reports(
+    node: Node,
+    weight: Callable[[str], float],
+    optimize: bool = True,
+    label: str = "",
+    leaf_estimate: Optional[Callable[[Leaf], Estimate]] = None,
+) -> Tuple[Estimate, List[PlanReport]]:
+    """Walk ``node``, planning every product with static estimates;
+    returns the root estimate and one :class:`PlanReport` per product
+    (in evaluation order, no actuals)."""
+    reports: List[PlanReport] = []
+    counter = [0]
+
+    def est(n: Node) -> Estimate:
+        if isinstance(n, Leaf):
+            if leaf_estimate is not None:
+                return leaf_estimate(n)
+            return _leaf_estimate(n, weight)
+        if isinstance(n, Product):
+            part_ests = [est(p) for p in n.parts]
+            plan = plan_product(
+                [p.attrs for p in n.parts],
+                n.quantify,
+                part_ests,
+                weight,
+                optimize=optimize,
+            )
+            counter[0] += 1
+            name = label or "<expr>"
+            if counter[0] > 1:
+                name = f"{name}#{counter[0]}"
+            rows = [
+                {
+                    "part": s.part,
+                    "on": list(s.on),
+                    "drop": list(s.drop),
+                    "est_card": s.est_card,
+                    "est_nodes": s.est_nodes,
+                }
+                for s in plan.steps
+            ]
+            reports.append(
+                PlanReport(
+                    label=name,
+                    optimized=plan.optimized,
+                    order=list(plan.order),
+                    part_labels=[_part_label(p) for p in n.parts],
+                    est_card=plan.est_card,
+                    est_nodes=plan.est_nodes,
+                    steps=rows,
+                )
+            )
+            nodes = (
+                plan.steps[-1].est_nodes
+                if plan.steps
+                else part_ests[0].nodes
+            )
+            return Estimate(plan.est_card, nodes)
+        if isinstance(n, Project):
+            child = est(n.child)
+            card = 1.0
+            for a in sorted(n.attrs):
+                card = min(card * max(weight(a), 1.0), _CAP)
+            return Estimate(min(child.card, card), child.nodes)
+        if isinstance(n, (Rename, Replace)):
+            return est(n.child)
+        if isinstance(n, Copy):
+            child = est(n.child)
+            return Estimate(child.card, min(child.nodes * 2, _CAP))
+        if isinstance(n, Filter):
+            child = est(n.child)
+            card = child.card
+            for a, _ in n.values:
+                card /= max(weight(a), 1.0)
+            return Estimate(max(card, 0.0), child.nodes)
+        if isinstance(n, Match):
+            a, b = est(n.left), est(n.right)
+            card = 1.0
+            for attr in sorted(n.attrs):
+                card = min(card * max(weight(attr), 1.0), _CAP)
+            card = min(card, a.card * b.card)
+            return Estimate(card, min(a.nodes * b.nodes, _CAP))
+        if isinstance(n, Union):
+            a, b = est(n.left), est(n.right)
+            return Estimate(
+                min(a.card + b.card, _CAP), min(a.nodes + b.nodes, _CAP)
+            )
+        if isinstance(n, Intersect):
+            a, b = est(n.left), est(n.right)
+            return Estimate(min(a.card, b.card), min(a.nodes, b.nodes))
+        if isinstance(n, Diff):
+            a, b = est(n.left), est(n.right)
+            return Estimate(a.card, min(a.nodes + b.nodes, _CAP))
+        raise TypeError(f"cannot estimate {type(n).__name__}")
+
+    return est(node), reports
+
+
+def format_reports(reports: List[PlanReport]) -> str:
+    if not reports:
+        return "(no products to plan)"
+    return "\n".join(r.format() for r in reports)

@@ -15,8 +15,19 @@ its own fresh ``BDDManager``/``ZDDManager``:
 - each round, the coordinator serializes the delta/full relations a
   task needs (normalized into their *declared* physical domains, so no
   scratch domain allocated mid-solve leaks across the process
-  boundary), dispatches tasks, and deserializes each worker's
-  contribution diagram back into its own manager.
+  boundary), dispatches tasks — each carrying the coordinator-planned
+  :class:`~repro.relations.ir.RulePlan`, so workers execute the exact
+  schedule the serial path would instead of re-deriving step lists —
+  and deserializes each worker's contribution diagram back into its
+  own manager.
+
+Serialized wire bytes are cached across rounds, keyed by (manager,
+diagram node, reorder generation): a full relation that did not change
+since the previous round is not re-serialized, and the bytes avoided
+are reported as ``bytes_saved`` / ``wire_cache_hits`` in
+:attr:`FixpointEngine.parallel_stats`.  Cached nodes are pinned with a
+manager reference so a slot can never be recycled under a live cache
+entry.
 
 Diagrams are written by stable variable id and rebuilt through the
 receiving manager's hash-consing, so a worker whose manager has the
@@ -143,7 +154,10 @@ def _worker_main(worker_id: int, init_bytes: bytes, task_q, result_q) -> None:
         pass
     Relation.profiler = None
     try:
-        from repro.relations.fixpoint import eval_rule_body
+        from repro.relations.fixpoint import (
+            eval_rule_body,
+            execute_rule_plan,
+        )
 
         init = pickle.loads(init_bytes)
         u = _build_universe(init["universe"])
@@ -168,7 +182,7 @@ def _worker_main(worker_id: int, init_bytes: bytes, task_q, result_q) -> None:
         msg = task_q.get()
         if msg is None:
             return
-        key, attempt, iteration, ri, pos, wires = msg
+        key, attempt, iteration, ri, pos, plan, wires = msg
         start = time.perf_counter()
         try:
             rule = rules[ri]
@@ -200,13 +214,23 @@ def _worker_main(worker_id: int, init_bytes: bytes, task_q, result_q) -> None:
                     return rel.rename(mapping) if mapping else rel
 
                 head_spec = rel_schemas[rule.head.name]
-                out = eval_rule_body(
-                    rule,
-                    pos,
-                    atom_value,
-                    lambda atom: atom_value(atom, False),
-                    [a for a, _ in head_spec],
-                )
+                if plan is not None:
+                    # Execute the coordinator's plan verbatim.
+                    out = execute_rule_plan(
+                        rule,
+                        plan,
+                        atom_value,
+                        lambda atom: atom_value(atom, False),
+                        label=rule.label,
+                    )
+                else:
+                    out = eval_rule_body(
+                        rule,
+                        pos,
+                        atom_value,
+                        lambda atom: atom_value(atom, False),
+                        [a for a, _ in head_spec],
+                    )
                 # Contributions ship in the declared head schema so the
                 # coordinator (and any other worker) can place them
                 # without knowing this worker's scratch domains.
@@ -318,7 +342,15 @@ class ParallelExecutor:
             "serial_fallback_tasks": 0,
             "bytes_shipped": 0,
             "bytes_returned": 0,
+            "wire_cache_hits": 0,
+            "bytes_saved": 0,
         }
+        #: Cross-round wire-bytes cache: slot -> (node, reorder
+        #: generation, bytes).  Each cached node carries one extra
+        #: manager reference (dropped on replacement and in close())
+        #: so its slot cannot be garbage-collected and recycled while
+        #: the entry is live.
+        self._wire_bytes: Dict[Tuple[str, str], Tuple[int, int, bytes]] = {}
         try:
             methods = multiprocessing.get_all_start_methods()
             self._ctx = multiprocessing.get_context(
@@ -363,6 +395,38 @@ class ParallelExecutor:
             ],
         }
 
+    def _wire_data(
+        self, wkey: Tuple[str, str], node: int, reorder_gen: int
+    ) -> bytes:
+        """The serialized bytes for ``node`` in wire slot ``wkey``,
+        reusing the cross-round cache when the slot still holds the
+        same diagram under the same variable order."""
+        manager = self.universe.manager
+        cached = self._wire_bytes.get(wkey)
+        if (
+            cached is not None
+            and cached[0] == node
+            and cached[1] == reorder_gen
+        ):
+            self.counters["wire_cache_hits"] += 1
+            self.counters["bytes_saved"] += len(cached[2])
+            return cached[2]
+        data = dumps_diagram_binary(manager, node)
+        manager.ref(node)
+        if cached is not None:
+            manager.deref(cached[0])
+        self._wire_bytes[wkey] = (node, reorder_gen, data)
+        return data
+
+    def _drop_wire_cache(self) -> None:
+        manager = self.universe.manager
+        for node, _gen, _data in self._wire_bytes.values():
+            try:
+                manager.deref(node)
+            except Exception:
+                pass
+        self._wire_bytes.clear()
+
     # -- one round -----------------------------------------------------
 
     def evaluate_round(
@@ -373,17 +437,22 @@ class ParallelExecutor:
         serial_eval: Callable[[int, int], Relation],
         tel,
         iteration: int,
+        plans: Optional[Dict[Tuple[int, int], object]] = None,
     ) -> List[Relation]:
         """Evaluate ``tasks`` (``(rule_index, delta_position)`` pairs);
         returns their contribution relations in task order.
 
+        ``plans`` (keyed like ``tasks``) carries the coordinator-side
+        :class:`~repro.relations.ir.RulePlan` each worker should
+        execute; tasks without one fall back to worker-side planning.
         Tasks a healthy pool cannot complete within the retry budget
         are evaluated via ``serial_eval`` on the coordinator, so the
         returned list is always complete.
         """
         self.counters["rounds"] += 1
         manager = self.universe.manager
-        wire_cache: Dict[Tuple[str, str], bytes] = {}
+        reorder_gen = manager.stats.reorder_runs
+        serialized: Dict[Tuple[str, str], bytes] = {}
         messages: Dict[Tuple[int, int], tuple] = {}
         with tel.span("parallel.serialize", cat="parallel",
                       iteration=iteration):
@@ -394,7 +463,7 @@ class ParallelExecutor:
                     if atom.name not in self.recursive:
                         continue
                     wkey = ("delta" if i == pos else "full", atom.name)
-                    data = wire_cache.get(wkey)
+                    data = serialized.get(wkey)
                     if data is None:
                         rel = (delta if wkey[0] == "delta" else full)[
                             atom.name
@@ -403,10 +472,13 @@ class ParallelExecutor:
                         normalized = rel.replace(
                             {a: p for a, p in declared}
                         )
-                        data = dumps_diagram_binary(manager, normalized.node)
-                        wire_cache[wkey] = data
+                        data = self._wire_data(
+                            wkey, normalized.node, reorder_gen
+                        )
+                        serialized[wkey] = data
                     wires[wkey] = data
-                messages[(ri, pos)] = (ri, pos, wires)
+                plan = plans.get((ri, pos)) if plans else None
+                messages[(ri, pos)] = (ri, pos, plan, wires)
 
         results: Dict[Tuple[int, int], tuple] = {}
         pending = dict(messages)
@@ -451,7 +523,7 @@ class ParallelExecutor:
                 reason=self.failure_reason,
             )
             for key in list(pending):
-                ri, pos, _ = pending.pop(key)
+                ri, pos, _plan, _wires = pending.pop(key)
                 self.counters["serial_fallback_tasks"] += 1
                 outs[key] = serial_eval(ri, pos)
 
@@ -477,8 +549,8 @@ class ParallelExecutor:
         progress (False means hang/crash — terminate and restart it).
         """
         pool = self._pool
-        for key, (ri, pos, wires) in pending.items():
-            pool.task_q.put((key, attempt, iteration, ri, pos, wires))
+        for key, (ri, pos, plan, wires) in pending.items():
+            pool.task_q.put((key, attempt, iteration, ri, pos, plan, wires))
             self.counters["tasks_dispatched"] += 1
             self.counters["bytes_shipped"] += sum(
                 len(b) for b in wires.values()
@@ -546,8 +618,10 @@ class ParallelExecutor:
             pool.shutdown(force=force)
 
     def close(self) -> None:
-        """Shut the pool down (sentinels, join, terminate stragglers)."""
+        """Shut the pool down (sentinels, join, terminate stragglers)
+        and release the wire cache's pinned nodes."""
         self._teardown_pool(force=False)
+        self._drop_wire_cache()
 
     def stats_snapshot(self) -> dict:
         out = dict(self.counters)

@@ -36,7 +36,7 @@ from repro import telemetry
 from repro.jedd import ast
 from repro.jedd.lexer import LexError
 from repro.jedd.parser import ParseError, parse_expression
-from repro.relations import JeddError, Relation, Universe
+from repro.relations import JeddError, Relation, Universe, ir
 
 __all__ = ["RelationalShell", "run_script", "main"]
 
@@ -64,6 +64,9 @@ class RelationalShell(cmd.Cmd):
         #: evaluates a rule semi-naively (the shell's ASTs carry no
         #: expr_ids, so occurrences are keyed by node identity).
         self._fix_override: Dict[int, Relation] = {}
+        #: the query planner all shell expressions evaluate through;
+        #: reset on `finalize` (plans are per-universe).
+        self._planner = ir.Planner()
 
     # -- helpers -----------------------------------------------------------
 
@@ -145,6 +148,7 @@ class RelationalShell(cmd.Cmd):
             fresh.physical_domain(pd.name, pd.bits)
         fresh.finalize()
         self.universe = fresh
+        self._planner = ir.Planner()
         if telemetry.is_enabled():
             telemetry.active().instrument_universe(fresh)
         self._say(
@@ -309,6 +313,21 @@ class RelationalShell(cmd.Cmd):
             + ", ".join(f"{t}={full[t].size()}" for t in targets)
         )
 
+    def do_explain(self, arg: str) -> None:
+        """explain EXPR -- evaluate and show the planner's chosen
+        schedule for every product, with per-step cost estimates next to
+        the actual cardinalities and node counts."""
+        source = arg.strip()
+        if not source:
+            raise _ShellError("usage: explain EXPR")
+        expr = parse_expression(source)
+        reports: List[ir.PlanReport] = []
+        rel = self._eval_ast(expr, collect=reports)
+        self._say(ir.format_reports(reports))
+        self._say(
+            f"result: {rel.size()} tuples, {rel.node_count()} nodes"
+        )
+
     def do_print(self, arg: str) -> None:
         """print EXPR -- show a relation's tuples."""
         self._say(str(self._eval(arg.strip())))
@@ -409,13 +428,21 @@ class RelationalShell(cmd.Cmd):
         expr = parse_expression(source)
         return self._eval_ast(expr)
 
-    def _eval_ast(self, expr: ast.Expr) -> Relation:
+    def _lower_ast(
+        self, expr: ast.Expr, env: Dict[str, Relation], counter: List[int]
+    ) -> ir.Node:
+        """Lower a shell expression to the relational IR, binding each
+        leaf to its relation in ``env``.  The shell has no static domain
+        assignment, so no wrapper replaces appear and nested joins
+        flatten freely for the planner."""
         u = self._need_finalized()
         if isinstance(expr, ast.VarRef):
             override = self._fix_override.get(id(expr))
-            if override is not None:
-                return override
-            return self._lookup(expr.name)
+            rel = override if override is not None else self._lookup(expr.name)
+            slot = f"s{counter[0]}"
+            counter[0] += 1
+            env[slot] = rel
+            return ir.leaf(slot, rel.schema.names())
         if isinstance(expr, ast.ConstRel):
             raise _ShellError(
                 "0B/1B need a schema; use `rel` to declare one"
@@ -428,33 +455,48 @@ class RelationalShell(cmd.Cmd):
                         "shell literals must use quoted strings"
                     )
                 values[piece.attr] = piece.value
-            return Relation.from_tuple(u, values)
+            rel = Relation.from_tuple(u, values)
+            slot = f"s{counter[0]}"
+            counter[0] += 1
+            env[slot] = rel
+            return ir.leaf(slot, rel.schema.names())
         if isinstance(expr, ast.SetOp):
-            left = self._eval_ast(expr.left)
-            right = self._eval_ast(expr.right)
-            if expr.op == "|":
-                return left | right
-            if expr.op == "&":
-                return left & right
-            return left - right
+            left = self._lower_ast(expr.left, env, counter)
+            right = self._lower_ast(expr.right, env, counter)
+            ctor = {"|": ir.union, "&": ir.intersect, "-": ir.diff}[expr.op]
+            return ctor(left, right)
         if isinstance(expr, ast.JoinOp):
-            left = self._eval_ast(expr.left)
-            right = self._eval_ast(expr.right)
-            if expr.op == "><":
-                return left.join(right, expr.left_attrs, expr.right_attrs)
-            return left.compose(right, expr.left_attrs, expr.right_attrs)
+            left = self._lower_ast(expr.left, env, counter)
+            right = self._lower_ast(expr.right, env, counter)
+            return ir.positional_join(
+                left,
+                right,
+                expr.left_attrs,
+                expr.right_attrs,
+                expr.op == "><",
+            )
         if isinstance(expr, ast.ReplaceOp):
-            value = self._eval_ast(expr.operand)
+            node = self._lower_ast(expr.operand, env, counter)
             for rep in expr.replacements:
                 if not rep.targets:
-                    value = value.project_away(rep.source)
+                    node = ir.project(node, (rep.source,))
                 elif len(rep.targets) == 1:
-                    if rep.targets[0] != rep.source:
-                        value = value.rename({rep.source: rep.targets[0]})
+                    node = ir.rename(node, {rep.source: rep.targets[0]})
                 else:
-                    value = value.copy(rep.source, rep.targets)
-            return value
+                    node = ir.copy(node, rep.source, rep.targets)
+            return node
         raise _ShellError(f"cannot evaluate {type(expr).__name__}")
+
+    def _eval_ast(
+        self, expr: ast.Expr, collect: Optional[list] = None
+    ) -> Relation:
+        u = self._need_finalized()
+        env: Dict[str, Relation] = {}
+        node = self._lower_ast(expr, env, [0])
+        ctx = ir.EvalContext(
+            u, env, planner=self._planner, collect=collect
+        )
+        return ir.evaluate(node, ctx)
 
 
 def run_script(lines: List[str], stdout=None) -> RelationalShell:

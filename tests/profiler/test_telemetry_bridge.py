@@ -10,8 +10,10 @@ from repro.profiler import (
     Profiler,
     generate_report,
     has_spans,
+    load_plans,
     load_site_kernel_breakdown,
     load_sites,
+    plan_hints,
     save_events,
     save_spans,
 )
@@ -185,6 +187,64 @@ class TestTelemetryBridge:
         content = open(os.path.join(out, "sites.html")).read()
         assert "hot-loop" in content and "bdd.union" in content
         assert "sites.html" in open(index).read()
+
+    def test_executed_plans_land_in_db_and_sites_page(self, tmp_path):
+        with Profiler(record_shapes=False) as prof:
+            session = prof.attach_telemetry()
+            _figure4_run("bdd")
+        db = str(tmp_path / "p.db")
+        save_events(db, prof.events)
+        save_spans(db, session.tracer.spans)
+        plans = load_plans(db)
+        assert plans
+        # plans are attributed to the statements that ran them
+        assert any(p["site"].startswith("resolve:") for p in plans)
+        for plan in plans:
+            assert plan["est_nodes"] > 0
+            assert plan["order"]
+            assert plan["steps"]
+            if plan["estimate_error"] is not None:
+                assert plan["estimate_error"] >= 1.0
+        # site filter returns a subset
+        one_site = plans[0]["site"]
+        assert all(
+            p["site"] == one_site for p in load_plans(db, site=one_site)
+        )
+        out = str(tmp_path / "html")
+        generate_report(db, out)
+        content = open(os.path.join(out, "sites.html")).read()
+        assert "Chosen query plans" in content
+        assert "resolve:" in content
+
+    def test_plan_hints_flag_10x_divergence(self):
+        plans = [
+            {
+                "site": "f:1,1", "label": "x =", "est_nodes": 1000.0,
+                "actual_nodes": 10.0, "estimate_error": 100.0,
+            },
+            {
+                "site": "f:2,1", "label": "y =", "est_nodes": 10.0,
+                "actual_nodes": 12.0, "estimate_error": 1.2,
+            },
+            {
+                "site": "f:3,1", "label": "z =", "est_nodes": 5.0,
+                "actual_nodes": 600.0, "estimate_error": 120.0,
+            },
+        ]
+        hints = plan_hints(plans)
+        assert len(hints) == 2
+        assert "f:1,1" in hints[0] and "overestimates" in hints[0]
+        assert "f:3,1" in hints[1] and "underestimates" in hints[1]
+        # the worst run per site wins: a good run doesn't mask a bad one
+        assert plan_hints(plans + [dict(plans[0], estimate_error=1.0)])
+
+    def test_load_plans_without_spans_table(self, u, tmp_path):
+        with Profiler(record_shapes=False) as prof:
+            a = Relation.from_tuples(u, ["x"], [("a",)], ["P1"])
+            a | a
+        db = str(tmp_path / "p.db")
+        save_events(db, prof.events)
+        assert load_plans(db) == []
 
     def test_report_without_spans_has_no_sites_page(self, u, tmp_path):
         with Profiler(record_shapes=False) as prof:

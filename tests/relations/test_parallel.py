@@ -93,6 +93,37 @@ class TestEngineSelection:
         assert stats["bytes_returned"] > 0
         assert not stats["broken"]
 
+    def test_wire_cache_saves_reserialization(self):
+        # "same" converges on the first round but its full relation is
+        # shipped again every remaining round of the closure; all but
+        # the first serialization must come from the wire cache
+        u = closure_universe()
+        edge = u.relation_of(["src", "dst"], EDGES, ["P1", "P2"])
+        nodes = sorted({a for a, _b in EDGES} | {b for _a, b in EDGES})
+        same = u.relation_of(
+            ["src", "dst"], [(n, n) for n in nodes], ["P1", "P2"]
+        )
+        eng = FixpointEngine(u, engine="parallel", workers=2)
+        eng.fact("edge", edge)
+        eng.relation("path", edge)
+        eng.relation("same", same)
+        eng.rule("same", ("x", "y"), [("same", ("x", "y"))])
+        eng.rule(
+            "path", ("x", "z"),
+            [("path", ("x", "y")), ("edge", ("y", "z"))],
+        )
+        eng.rule(
+            "path", ("x", "z"),
+            [("path", ("x", "y")), ("same", ("y", "z"))],
+        )
+        solution = eng.solve()
+        assert eng.iterations > 2
+        stats = eng.parallel_stats
+        assert stats["wire_cache_hits"] > 0
+        assert stats["bytes_saved"] > 0
+        assert stats["bytes_shipped"] > 0
+        assert frozenset(solution["path"].tuples()) == oracle_closure()
+
 
 class TestParallelEquivalence:
     @pytest.mark.parametrize("backend", ["bdd", "zdd"])
