@@ -1,35 +1,49 @@
 """Repository-wide pytest configuration.
 
-Registers the ``reorder_stress`` marker: heavy randomized suites
-(long differential chains, deep swap/integrity fuzzing) that CI runs
-in a dedicated seeded job.  They are skipped unless pytest is invoked
-with ``--reorder-stress``.
+Registers the opt-in stress markers: heavy randomized suites that CI
+runs in dedicated seeded jobs.  ``reorder_stress`` covers long
+differential chains and deep swap/integrity fuzzing;
+``kernel_stress`` covers long cross-kernel chains aimed at the arena
+kernel's batch machinery.  Both are skipped unless pytest is invoked
+with the matching flag.
 """
 
 import pytest
 
+_STRESS_MARKERS = {
+    "reorder_stress": (
+        "--reorder-stress",
+        "heavy randomized reordering stress tests",
+    ),
+    "kernel_stress": (
+        "--kernel-stress",
+        "heavy randomized cross-kernel differential stress tests",
+    ),
+}
+
 
 def pytest_addoption(parser):
-    parser.addoption(
-        "--reorder-stress",
-        action="store_true",
-        default=False,
-        help="run the heavy randomized reordering stress suites",
-    )
+    for flag, helptext in _STRESS_MARKERS.values():
+        parser.addoption(
+            flag,
+            action="store_true",
+            default=False,
+            help=f"run the {helptext}",
+        )
 
 
 def pytest_configure(config):
-    config.addinivalue_line(
-        "markers",
-        "reorder_stress: heavy randomized reordering stress tests "
-        "(enabled with --reorder-stress)",
-    )
+    for marker, (flag, helptext) in _STRESS_MARKERS.items():
+        config.addinivalue_line(
+            "markers", f"{marker}: {helptext} (enabled with {flag})"
+        )
 
 
 def pytest_collection_modifyitems(config, items):
-    if config.getoption("--reorder-stress"):
-        return
-    skip = pytest.mark.skip(reason="needs --reorder-stress")
-    for item in items:
-        if "reorder_stress" in item.keywords:
-            item.add_marker(skip)
+    for marker, (flag, _) in _STRESS_MARKERS.items():
+        if config.getoption(flag):
+            continue
+        skip = pytest.mark.skip(reason=f"needs {flag}")
+        for item in items:
+            if marker in item.keywords:
+                item.add_marker(skip)

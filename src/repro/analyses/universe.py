@@ -31,9 +31,10 @@ class AnalysisUniverse:
         ordering: str = "interleaved",
         reorder: bool = False,
         reorder_threshold: int = 1 << 14,
+        kernel: str | None = None,
     ) -> None:
         self.facts = facts
-        u = Universe(backend=backend, ordering=ordering)
+        u = Universe(backend=backend, ordering=ordering, kernel=kernel)
         self.universe = u
         counts = facts.counts()
         type_bits = _bits_for(counts["classes"])

@@ -21,6 +21,8 @@ hence performance.
 
 from __future__ import annotations
 
+import os
+
 from typing import (
     Any,
     Dict,
@@ -161,16 +163,32 @@ class Universe:
     ``"interleaved"`` (bit i of every domain adjacent -- the usual choice
     for points-to-style analyses) or ``"sequential"`` (one block per
     physical domain).
+
+    ``kernel`` selects the BDD kernel implementation: ``"reference"``
+    (the recursive manager in :mod:`repro.bdd.manager`) or ``"arena"``
+    (the vectorized struct-of-arrays kernel in :mod:`repro.bdd.arena`;
+    see ``docs/KERNEL.md``).  When omitted, the ``JEDD_KERNEL``
+    environment variable decides, defaulting to ``"reference"``.  The
+    kernel flag only affects the ``"bdd"`` backend; both kernels build
+    bit-identical canonical diagrams.
     """
 
     def __init__(
-        self, backend: str = "bdd", ordering: str = "interleaved"
+        self,
+        backend: str = "bdd",
+        ordering: str = "interleaved",
+        kernel: Optional[str] = None,
     ) -> None:
         if ordering not in ("interleaved", "sequential"):
             raise JeddError(f"unknown ordering {ordering!r}")
         if backend not in ("bdd", "zdd"):
             raise JeddError(f"unknown backend {backend!r}")
+        if kernel is None:
+            kernel = os.environ.get("JEDD_KERNEL", "reference")
+        if kernel not in ("reference", "arena"):
+            raise JeddError(f"unknown kernel {kernel!r}")
         self.backend_name = backend
+        self.kernel_name = kernel
         self.ordering = ordering
         self._domains: Dict[str, Domain] = {}
         self._attributes: Dict[str, Attribute] = {}
@@ -336,7 +354,12 @@ class Universe:
                     next_level += 1
         assert next_level == total_bits
         if self.backend_name == "bdd":
-            self.manager = BDDManager(total_bits)
+            if self.kernel_name == "arena":
+                from repro.bdd.arena import ArenaBDDManager
+
+                self.manager = ArenaBDDManager(total_bits)
+            else:
+                self.manager = BDDManager(total_bits)
         else:
             self.manager = ZDDManager(total_bits)
 
@@ -586,6 +609,7 @@ def open_universe(
     backend: str = "bdd",
     order: str = "interleaved",
     *,
+    kernel: Optional[str] = None,
     domains: Optional[Dict[str, int]] = None,
     attributes: Optional[Dict[str, str]] = None,
     physdoms: Optional[Dict[str, int]] = None,
@@ -611,9 +635,10 @@ def open_universe(
     domain names, as for :meth:`Universe.set_bit_order`).  The universe
     is finalized automatically when any physical domains were declared
     (override with ``finalize=``); declare-then-finalize manually for
-    more complex setups.
+    more complex setups.  ``kernel`` picks the BDD kernel
+    (``"reference"`` or ``"arena"``; default from ``JEDD_KERNEL``).
     """
-    u = Universe(backend=backend, ordering=order)
+    u = Universe(backend=backend, ordering=order, kernel=kernel)
     for name, size in (domains or {}).items():
         u.domain(name, size)
     for name, dom_name in (attributes or {}).items():

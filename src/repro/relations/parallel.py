@@ -81,7 +81,11 @@ def _build_universe(spec: dict) -> Universe:
     level assignments (stable variable ids) verbatim, and the manager is
     created directly with the coordinator's variable count.
     """
-    u = Universe(backend=spec["backend"], ordering="interleaved")
+    u = Universe(
+        backend=spec["backend"],
+        ordering="interleaved",
+        kernel=spec.get("kernel", "reference"),
+    )
     for name, max_size, objs in spec["domains"]:
         dom = u.domain(name, max_size)
         for obj in objs:
@@ -102,7 +106,12 @@ def _build_universe(spec: dict) -> Universe:
     # Fresh worker-side scratch domains must not collide with shipped ones.
     u._scratch_counter = scratch_max
     if spec["backend"] == "bdd":
-        u.manager = BDDManager(spec["num_vars"])
+        if u.kernel_name == "arena":
+            from repro.bdd.arena import ArenaBDDManager
+
+            u.manager = ArenaBDDManager(spec["num_vars"])
+        else:
+            u.manager = BDDManager(spec["num_vars"])
     else:
         u.manager = ZDDManager(spec["num_vars"])
     return u
@@ -380,6 +389,7 @@ class ParallelExecutor:
         u = self.universe
         return {
             "backend": u.backend_name,
+            "kernel": getattr(u, "kernel_name", "reference"),
             "num_vars": u.manager.num_vars,
             "domains": [
                 (d.name, d.max_size, tuple(d._to_obj))

@@ -1,37 +1,68 @@
-"""Randomized differential testing: BDD vs ZDD vs a frozenset oracle.
+"""Randomized differential testing across every kernel and backend.
 
-Each *chain* builds the same random relational program three ways --
-on the BDD backend, on the ZDD backend, and against a plain-Python
+Each *chain* builds the same random relational program four ways -- on
+the reference BDD kernel, on the vectorized arena BDD kernel
+(:mod:`repro.bdd.arena`), on the ZDD backend, and against a plain-Python
 oracle that stores relations as sets of ``{attribute: value}`` rows --
-and asserts the three agree on the exact tuple set after every
-operation.  The suite runs each chain twice, with automatic variable
-reordering off and on, so sifting is proven semantics-preserving under
-real operation mixes (not just on static diagrams).
+and asserts they all agree on the exact tuple set after every
+operation.  Between the two BDD kernels the check is stronger than
+tuple-set equality: hash-consing makes reduced ordered BDDs canonical,
+so under the same variable order both kernels must build *node-for-node
+identical* diagrams.  The harness asserts that by comparing serialized
+wire bytes (:func:`repro.bdd.io.dumps_diagram_binary`) after every
+operation.
 
-Chains are seeded by index: failures reproduce by seed, and CI runs
-are deterministic.
+The suite runs each chain twice, with automatic variable reordering off
+and on, so sifting is proven semantics-preserving under real operation
+mixes (not just on static diagrams) for both kernels.
+
+Chains are seeded by index: on the first divergence the harness prints
+a one-line replay recipe (seed + chain index + which pair of
+implementations disagreed; see :mod:`tests.bdd._repro`), and
+``JEDD_DIFF_SEED=<seed> pytest ... -k replay`` reruns exactly the
+failing chain.
 """
 
+import os
 import random
 
 import pytest
 
+from repro.bdd.io import dumps_diagram_binary
 from repro.relations import Relation, Universe
+
+from tests.bdd._repro import REPLAY_ENV, repro_line
 
 ATTRS = ["a", "b", "c", "d", "e", "f"]
 PHYSDOMS = ["P1", "P2", "P3", "P4", "P5", "P6"]
 DOMAIN_SIZE = 8
 
 #: chains per (backend-comparison, reorder-mode); the tier-1 run does
-#: 2 x 500 = 1000 randomized chains, the stress job adds longer ones.
+#: 2 x 500 = 1000 randomized chains, the stress jobs add longer ones.
 N_CHAINS = 500
 N_CHAINS_STRESS = 250
 OPS_PER_CHAIN = 6
 OPS_PER_CHAIN_STRESS = 14
 
+THIS_FILE = "tests/bdd/test_differential.py"
 
-def build_universe(backend):
-    u = Universe(backend=backend, ordering="sequential")
+#: Context for repro lines, set by run_chain for the duration of a
+#: chain so assertion sites can emit a replayable recipe.
+_CTX = {"seed": 0, "chain_index": 0, "reorder": False}
+
+
+def _repro(pair: str) -> str:
+    return repro_line(
+        THIS_FILE,
+        _CTX["seed"],
+        _CTX["chain_index"],
+        pair,
+        _CTX["reorder"],
+    )
+
+
+def build_universe(backend, kernel="reference"):
+    u = Universe(backend=backend, ordering="sequential", kernel=kernel)
     dom = u.domain("D", DOMAIN_SIZE)
     for name in ATTRS:
         u.attribute(name, dom)
@@ -134,21 +165,31 @@ class Oracle:
         }
 
 
-class Triple:
-    """The same relation on both engines plus the oracle."""
+class Quad:
+    """The same relation on both BDD kernels, the ZDD engine, and the
+    oracle."""
 
-    def __init__(self, bdd, zdd, oracle):
-        self.bdd = bdd
+    def __init__(self, ref, arena, zdd, oracle):
+        self.ref = ref
+        self.arena = arena
         self.zdd = zdd
         self.oracle = oracle
 
     def check(self):
-        names = self.bdd.schema.names()
+        names = self.ref.schema.names()
         expected = self.oracle.tuple_set(names)
-        got_bdd = set(self.bdd.tuples())
-        assert got_bdd == expected, (
-            f"BDD backend diverged from oracle over {names}: "
-            f"extra={got_bdd - expected}, missing={expected - got_bdd}"
+        got_ref = set(self.ref.tuples())
+        assert got_ref == expected, (
+            f"reference-BDD diverged from oracle over {names}: "
+            f"extra={got_ref - expected}, missing={expected - got_ref}\n"
+            + _repro("reference-bdd vs oracle")
+        )
+        got_arena = set(self.arena.tuples())
+        assert got_arena == expected, (
+            f"arena-BDD diverged from oracle over {names}: "
+            f"extra={got_arena - expected}, "
+            f"missing={expected - got_arena}\n"
+            + _repro("arena-bdd vs oracle")
         )
         znames = self.zdd.schema.names()
         got_zdd = {
@@ -157,13 +198,33 @@ class Triple:
         }
         assert got_zdd == expected, (
             f"ZDD backend diverged from oracle over {names}: "
-            f"extra={got_zdd - expected}, missing={expected - got_zdd}"
+            f"extra={got_zdd - expected}, missing={expected - got_zdd}\n"
+            + _repro("zdd vs oracle")
         )
-        assert self.bdd.size() == len(expected)
+        assert self.ref.size() == len(expected)
+        assert self.arena.size() == len(expected)
         assert self.zdd.size() == len(expected)
+        # Canonicity: under the same variable order, both BDD kernels
+        # must hold node-for-node identical diagrams, not merely the
+        # same tuple set.  Identical inputs drive identical (size
+        # triggered, deterministic) sift decisions, so the orders never
+        # drift apart either.
+        m_ref = self.ref.universe.manager
+        m_arena = self.arena.universe.manager
+        assert m_ref.current_order() == m_arena.current_order(), (
+            "variable orders diverged between BDD kernels\n"
+            + _repro("reference-bdd vs arena-bdd")
+        )
+        wire_ref = dumps_diagram_binary(m_ref, self.ref.node)
+        wire_arena = dumps_diagram_binary(m_arena, self.arena.node)
+        assert wire_ref == wire_arena, (
+            f"BDD kernels diverged on canonical node table over {names} "
+            f"({len(wire_ref)} vs {len(wire_arena)} wire bytes)\n"
+            + _repro("reference-bdd vs arena-bdd")
+        )
 
 
-def random_base(rng, u_bdd, u_zdd):
+def random_base(rng, u_ref, u_arena, u_zdd):
     n_attrs = rng.randrange(1, 3)
     attrs = rng.sample(ATTRS, n_attrs)
     pds = rng.sample(PHYSDOMS, n_attrs)
@@ -172,26 +233,28 @@ def random_base(rng, u_bdd, u_zdd):
         tuple(rng.randrange(DOMAIN_SIZE) for _ in attrs)
         for _ in range(n_rows)
     ]
-    return Triple(
-        Relation.from_tuples(u_bdd, attrs, rows, pds),
+    return Quad(
+        Relation.from_tuples(u_ref, attrs, rows, pds),
+        Relation.from_tuples(u_arena, attrs, rows, pds),
         Relation.from_tuples(u_zdd, attrs, rows, pds),
         Oracle.from_tuples(attrs, rows),
     )
 
 
-def apply_random_op(rng, pool, u_bdd, u_zdd):
-    """Apply one random operation; returns a new Triple or None."""
+def apply_random_op(rng, pool, u_ref, u_arena, u_zdd):
+    """Apply one random operation; returns a new Quad or None."""
     ops = ["base", "union", "intersect", "difference", "project",
            "rename", "join", "compose", "select", "replace"]
     op = rng.choice(ops)
     if op == "base" or not pool:
-        return random_base(rng, u_bdd, u_zdd)
+        return random_base(rng, u_ref, u_arena, u_zdd)
     t1 = rng.choice(pool)
     if op in ("union", "intersect", "difference"):
         same = [t for t in pool if t.oracle.attrs == t1.oracle.attrs]
         t2 = rng.choice(same)
-        return Triple(
-            getattr(t1.bdd, op)(t2.bdd),
+        return Quad(
+            getattr(t1.ref, op)(t2.ref),
+            getattr(t1.arena, op)(t2.arena),
             getattr(t1.zdd, op)(t2.zdd),
             getattr(t1.oracle, op)(t2.oracle),
         )
@@ -199,8 +262,9 @@ def apply_random_op(rng, pool, u_bdd, u_zdd):
         if len(t1.oracle.attrs) < 2:
             return None
         name = rng.choice(sorted(t1.oracle.attrs))
-        return Triple(
-            t1.bdd.project_away(name),
+        return Quad(
+            t1.ref.project_away(name),
+            t1.arena.project_away(name),
             t1.zdd.project_away(name),
             t1.oracle.project_away(name),
         )
@@ -210,8 +274,9 @@ def apply_random_op(rng, pool, u_bdd, u_zdd):
             return None
         old = rng.choice(sorted(t1.oracle.attrs))
         new = rng.choice(unused)
-        return Triple(
-            t1.bdd.rename({old: new}),
+        return Quad(
+            t1.ref.rename({old: new}),
+            t1.arena.rename({old: new}),
             t1.zdd.rename({old: new}),
             t1.oracle.rename({old: new}),
         )
@@ -236,55 +301,63 @@ def apply_random_op(rng, pool, u_bdd, u_zdd):
         if result_size > 3 or result_size == 0:
             return None
         if op == "join":
-            return Triple(
-                t1.bdd.join(t2.bdd, [x], [y]),
+            return Quad(
+                t1.ref.join(t2.ref, [x], [y]),
+                t1.arena.join(t2.arena, [x], [y]),
                 t1.zdd.join(t2.zdd, [x], [y]),
                 t1.oracle.join(t2.oracle, x, y),
             )
-        return Triple(
-            t1.bdd.compose(t2.bdd, [x], [y]),
+        return Quad(
+            t1.ref.compose(t2.ref, [x], [y]),
+            t1.arena.compose(t2.arena, [x], [y]),
             t1.zdd.compose(t2.zdd, [x], [y]),
             t1.oracle.compose(t2.oracle, x, y),
         )
     if op == "select":
         name = rng.choice(sorted(t1.oracle.attrs))
         values = {name: rng.randrange(DOMAIN_SIZE)}
-        return Triple(
-            t1.bdd.select(values),
+        return Quad(
+            t1.ref.select(values),
+            t1.arena.select(values),
             t1.zdd.select(values),
             t1.oracle.select(values),
         )
     if op == "replace":
         # Semantically the identity: move one attribute to a free pd.
         name = rng.choice(sorted(t1.oracle.attrs))
-        used = {pd.name for _, pd in t1.bdd.schema.pairs}
+        used = {pd.name for _, pd in t1.ref.schema.pairs}
         free = sorted(set(PHYSDOMS) - used)
         if not free:
             return None
         target = rng.choice(free)
-        return Triple(
-            t1.bdd.replace({name: target}),
+        return Quad(
+            t1.ref.replace({name: target}),
+            t1.arena.replace({name: target}),
             t1.zdd.replace({name: target}),
             t1.oracle,
         )
     raise AssertionError(op)
 
 
-def run_chain(seed, reorder, n_ops):
+def run_chain(seed, reorder, n_ops, chain_index=0):
+    _CTX.update(seed=seed, chain_index=chain_index, reorder=reorder)
     rng = random.Random(seed)
-    u_bdd = build_universe("bdd")
+    u_ref = build_universe("bdd", kernel="reference")
+    u_arena = build_universe("bdd", kernel="arena")
     u_zdd = build_universe("zdd")
     if reorder:
         # Tiny threshold so sifting actually fires mid-chain, with both
-        # grouping policies exercised across seeds.
-        u_bdd.enable_reorder(
-            threshold=rng.choice([20, 60]),
-            group_by_physdom=bool(seed % 2),
-        )
-    pool = [random_base(rng, u_bdd, u_zdd)]
+        # grouping policies exercised across seeds.  Both BDD kernels
+        # get identical settings: their tables are identical, so their
+        # sift decisions must coincide (check() asserts it).
+        threshold = rng.choice([20, 60])
+        group = bool(seed % 2)
+        u_ref.enable_reorder(threshold=threshold, group_by_physdom=group)
+        u_arena.enable_reorder(threshold=threshold, group_by_physdom=group)
+    pool = [random_base(rng, u_ref, u_arena, u_zdd)]
     pool[0].check()
     for _ in range(n_ops):
-        result = apply_random_op(rng, pool, u_bdd, u_zdd)
+        result = apply_random_op(rng, pool, u_ref, u_arena, u_zdd)
         if result is None:
             continue
         result.check()
@@ -294,11 +367,13 @@ def run_chain(seed, reorder, n_ops):
         if reorder and rng.random() < 0.1:
             # Manual pass at an operation boundary, then re-check every
             # live relation's tuples survived it.
-            u_bdd.reorder()
+            u_ref.reorder()
+            u_arena.reorder()
             for t in pool:
                 t.check()
     if reorder:
-        u_bdd.manager.check_integrity()
+        u_ref.manager.check_integrity()
+        u_arena.manager.check_integrity()
 
 
 # Ten batches per mode keep single-test runtimes small while totalling
@@ -313,7 +388,7 @@ def test_differential_chains(reorder, batch):
     base = batch * per_batch
     for i in range(per_batch):
         seed = 90_000 + base + i if reorder else base + i
-        run_chain(seed, reorder, OPS_PER_CHAIN)
+        run_chain(seed, reorder, OPS_PER_CHAIN, chain_index=base + i)
 
 
 @pytest.mark.reorder_stress
@@ -321,4 +396,32 @@ def test_differential_chains(reorder, batch):
 def test_differential_chains_stress(reorder):
     for i in range(N_CHAINS_STRESS):
         seed = 500_000 + i if reorder else 400_000 + i
-        run_chain(seed, reorder, OPS_PER_CHAIN_STRESS)
+        run_chain(seed, reorder, OPS_PER_CHAIN_STRESS, chain_index=i)
+
+
+@pytest.mark.kernel_stress
+@pytest.mark.parametrize("reorder", [False, True], ids=["plain", "reorder"])
+def test_kernel_stress_chains(reorder):
+    """Longer chains aimed at the arena kernel's batch machinery.
+
+    Same four-way harness, but with enough operations per chain that
+    frontiers widen past ``vector_threshold`` and the arena's vector
+    paths (not just the narrow scalar fallbacks) carry real traffic.
+    """
+    for i in range(N_CHAINS_STRESS):
+        seed = 700_000 + i if reorder else 600_000 + i
+        run_chain(seed, reorder, OPS_PER_CHAIN_STRESS, chain_index=i)
+
+
+def test_replay_chain():
+    """Replay hook for the repro lines printed on divergence.
+
+    ``JEDD_DIFF_SEED=<seed> pytest tests/bdd/test_differential.py -k
+    replay`` reruns exactly the chain that failed (both reorder modes,
+    long enough to cover stress-length chains).
+    """
+    seed = os.environ.get(REPLAY_ENV)
+    if seed is None:
+        pytest.skip(f"set {REPLAY_ENV}=<seed> to replay a chain")
+    for reorder in (False, True):
+        run_chain(int(seed), reorder, OPS_PER_CHAIN_STRESS)
