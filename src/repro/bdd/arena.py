@@ -530,6 +530,7 @@ class ArenaBDDManager(BDDManager):
 
     def table_stats(self) -> Dict[str, float]:
         live = self.num_nodes
+        self.stats.note_live(live)
         capacity = self._capacity
         return {
             "live_nodes": live,
@@ -538,7 +539,14 @@ class ArenaBDDManager(BDDManager):
             "unique_entries": len(self._unique),
             "load": live / capacity if capacity else 0.0,
             "num_vars": self._num_vars,
+            "peak_live_nodes": self.stats.peak_live_nodes,
         }
+
+    def cache_stats(self) -> Dict[str, int]:
+        out = super().cache_stats()
+        out["vexist"] = len(self._vexist)
+        out["vand_exist"] = len(self._vand_exist)
+        return out
 
     def _reserve(self, need: int) -> None:
         if need <= self._capacity:
@@ -1969,6 +1977,7 @@ class ArenaBDDManager(BDDManager):
 
     def gc(self) -> int:
         start = perf_counter()
+        self.stats.note_live(self.num_nodes)
         size = self._size
         level, low, high = self._level, self._low, self._high
         marked = np.zeros(size, dtype=bool)

@@ -232,6 +232,7 @@ class BDDManager:
     def table_stats(self) -> Dict[str, float]:
         """Unique/node table occupancy gauges (for telemetry snapshots)."""
         live = self.num_nodes
+        self.stats.note_live(live)
         capacity = len(self._level)
         return {
             "live_nodes": live,
@@ -240,6 +241,19 @@ class BDDManager:
             "unique_entries": len(self._unique),
             "load": live / capacity if capacity else 0.0,
             "num_vars": self._num_vars,
+            "peak_live_nodes": self.stats.peak_live_nodes,
+        }
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Current entry counts of the operation caches (occupancy, not
+        hits/misses — the sampler turns these into gauges)."""
+        return {
+            "apply": len(self._apply_cache),
+            "not": len(self._not_cache),
+            "exist": len(self._exist_cache),
+            "and_exist": len(self._and_exist_cache),
+            "replace": len(self._replace_cache),
+            "count": len(self._count_cache),
         }
 
     def level_of(self, node: int) -> int:
@@ -1451,6 +1465,7 @@ class BDDManager:
         cleared, as they may reference dead nodes.
         """
         start = perf_counter()
+        self.stats.note_live(self.num_nodes)
         marked = [False] * len(self._level)
         stack = [n for n, r in enumerate(self._refs) if r > 0]
         while stack:

@@ -45,6 +45,7 @@ class KernelStats:
         "count_hits",
         "count_misses",
         "nodes_created",
+        "peak_live_nodes",
         "gc_runs",
         "gc_seconds",
         "gc_reclaimed",
@@ -72,12 +73,24 @@ class KernelStats:
         self.count_hits = 0
         self.count_misses = 0
         self.nodes_created = 0
+        self.peak_live_nodes = 0
         self.gc_runs = 0
         self.gc_seconds = 0.0
         self.gc_reclaimed = 0
         self.last_gc_seconds = 0.0
         self.reorder_runs = 0
         self.reorder_seconds = 0.0
+
+    def note_live(self, live: int) -> None:
+        """Update the live-node high-water mark.
+
+        Not called from ``mk`` hot paths: managers report at the natural
+        peaks — GC entry (live count is maximal just before a sweep) and
+        ``table_stats()`` (every telemetry snapshot / sampler tick) — so
+        the mark tracks the true maximum without per-node cost.
+        """
+        if live > self.peak_live_nodes:
+            self.peak_live_nodes = live
 
     def per_op(self) -> List[Tuple[str, int, int]]:
         """``(op_name, hits, misses)`` for every binary-op tag."""
@@ -106,6 +119,7 @@ class KernelStats:
             setattr(self, f"{cache}_hits", 0)
             setattr(self, f"{cache}_misses", 0)
         self.nodes_created = 0
+        self.peak_live_nodes = 0
         self.gc_runs = 0
         self.gc_seconds = 0.0
         self.gc_reclaimed = 0

@@ -98,6 +98,7 @@ class ZDDManager:
     def table_stats(self) -> Dict[str, float]:
         """Unique/node table occupancy gauges (for telemetry snapshots)."""
         live = self.num_nodes
+        self.stats.note_live(live)
         capacity = len(self._level)
         return {
             "live_nodes": live,
@@ -106,6 +107,17 @@ class ZDDManager:
             "unique_entries": len(self._unique),
             "load": live / capacity if capacity else 0.0,
             "num_vars": self._num_vars,
+            "peak_live_nodes": self.stats.peak_live_nodes,
+        }
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Current entry counts of the operation caches (occupancy, not
+        hits/misses — the sampler turns these into gauges)."""
+        return {
+            "op": len(self._op_cache),
+            "change": len(self._change_cache),
+            "exist": len(self._exist_cache),
+            "count": len(self._count_cache),
         }
 
     def is_terminal(self, node: int) -> bool:
@@ -566,6 +578,7 @@ class ZDDManager:
     def gc(self) -> int:
         """Sweep unreferenced nodes; clears all operation caches."""
         start = perf_counter()
+        self.stats.note_live(self.num_nodes)
         marked = [False] * len(self._level)
         stack = [n for n, r in enumerate(self._refs) if r > 0]
         while stack:

@@ -7,6 +7,7 @@ Usage::
     python -m repro.jedd.cli input.jedd --dump-ast     # pretty-print
     python -m repro.jedd.cli input.jedd --explain      # planner EXPLAIN
     python -m repro.jedd.cli input.jedd --trace t.json # run under telemetry
+    python -m repro.jedd.cli input.jedd --metrics m.prom # Prometheus export
 
 Like the paper's jeddc, the output is an ordinary source file (here
 Python rather than Java) that can be incorporated into any project and
@@ -66,21 +67,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help="compile and run the program under telemetry, writing a "
         "Chrome trace-event JSON file (open in chrome://tracing)",
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="compile and run the program under telemetry with the gauge "
+        "sampler on, writing Prometheus text exposition to FILE (plus a "
+        "FILE.json snapshot for `python -m repro.telemetry.top`); '-' "
+        "prints the exposition to stdout; combines with --trace",
+    )
     return parser
 
 
-def _run_traced(compiled, trace_path: str) -> int:
-    """Execute the compiled program under the active telemetry session
-    and write the Chrome trace; called with telemetry already enabled so
-    the SAT solve of the domain assignment is part of the trace."""
+def _run_traced(
+    compiled,
+    trace_path: Optional[str],
+    metrics_path: Optional[str] = None,
+) -> int:
+    """Execute the compiled program under the active telemetry session,
+    then write the requested artifacts (Chrome trace and/or Prometheus
+    exposition); called with telemetry already enabled so the SAT solve
+    of the domain assignment is part of the record."""
     from repro import telemetry
     from repro.jedd.interp import JeddRuntimeError
+    from repro.telemetry.sampler import Sampler
 
     session = telemetry.active()
+    sampler = Sampler(session) if metrics_path else None
     status = 0
     try:
         interp = compiled.interpreter()
         session.instrument_universe(interp.universe)
+        if sampler is not None:
+            sampler.start()
         if "main" in compiled.tp.functions:
             func = compiled.tp.functions["main"]
             if func.params:
@@ -96,11 +114,31 @@ def _run_traced(compiled, trace_path: str) -> int:
         # is exactly what the trace is for.
         print(f"jeddc: runtime error: {err}", file=sys.stderr)
         status = 1
-    count = session.write_chrome_trace(trace_path, process_name="jeddc")
-    print(f"jeddc: wrote {count} trace events to {trace_path}",
-          file=sys.stderr)
-    for line in session.text_report().splitlines():
-        print(f"jeddc: {line}", file=sys.stderr)
+    if sampler is not None:
+        sampler.stop()  # takes a final sample, so gauges are end-state
+    if trace_path:
+        count = session.write_chrome_trace(trace_path, process_name="jeddc")
+        print(f"jeddc: wrote {count} trace events to {trace_path}",
+              file=sys.stderr)
+    if metrics_path:
+        text = session.prometheus_text()
+        if metrics_path == "-":
+            print(text, end="")
+        else:
+            import json
+
+            with open(metrics_path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            with open(metrics_path + ".json", "w", encoding="utf-8") as fh:
+                json.dump(session.json_snapshot(), fh, sort_keys=True)
+            print(
+                f"jeddc: wrote metrics exposition to {metrics_path} "
+                f"(+ {metrics_path}.json)",
+                file=sys.stderr,
+            )
+    if trace_path:
+        for line in session.text_report().splitlines():
+            print(f"jeddc: {line}", file=sys.stderr)
     return status
 
 
@@ -113,7 +151,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except OSError as err:
         print(f"jeddc: cannot read {args.input}: {err}", file=sys.stderr)
         return 2
-    if args.trace:
+    if args.trace or args.metrics:
         from repro import telemetry
 
         telemetry.enable()
@@ -130,8 +168,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         print(explain_program(compiled.tp, compiled.assignment))
         return 0
-    if args.trace:
-        return _run_traced(compiled, args.trace)
+    if args.trace or args.metrics:
+        return _run_traced(compiled, args.trace, args.metrics)
     if args.stats:
         for key, value in sorted(compiled.stats.items()):
             if isinstance(value, float):

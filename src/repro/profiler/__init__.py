@@ -6,6 +6,7 @@ from repro.profiler.recorder import ProfileEvent, Profiler, ReorderEvent
 from repro.profiler.sql import (
     has_spans,
     load_executions,
+    load_lanes,
     load_plans,
     load_shape,
     load_site_kernel_breakdown,
@@ -13,6 +14,7 @@ from repro.profiler.sql import (
     load_summary,
     save_events,
     save_spans,
+    save_worker_lanes,
 )
 
 __all__ = [
@@ -22,6 +24,7 @@ __all__ = [
     "generate_report",
     "has_spans",
     "load_executions",
+    "load_lanes",
     "load_plans",
     "load_shape",
     "load_site_kernel_breakdown",
@@ -30,4 +33,5 @@ __all__ = [
     "plan_hints",
     "save_events",
     "save_spans",
+    "save_worker_lanes",
 ]

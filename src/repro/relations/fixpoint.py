@@ -648,6 +648,8 @@ class FixpointEngine:
                 self._executor.close()
                 self.parallel_stats = self._executor.stats_snapshot()
                 self._executor = None
+                if tel.enabled:
+                    tel.record_parallel(self.parallel_stats)
         return dict(self._full)
 
     def _evaluate_rules_serial(self, tel, it: int) -> Dict[str, Relation]:

@@ -46,6 +46,7 @@ worst case is losing the speedup.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
 import pickle
@@ -151,17 +152,95 @@ def _maybe_inject_fault(
         os._exit(3)
 
 
-def _worker_main(worker_id: int, init_bytes: bytes, task_q, result_q) -> None:
-    """Worker process entry point (module-level, so ``spawn`` works)."""
-    # Under fork the child inherits the coordinator's telemetry session
-    # and profiler hooks; sever both so worker-side kernel calls never
-    # touch coordinator-owned state.
+def _sever_inherited_observers() -> None:
+    """Detach every coordinator-owned observability hook a forked child
+    inherits, so nothing the worker does can fire coordinator callbacks.
+
+    Three pieces of state cross the fork boundary:
+
+    - the active telemetry session — ``disable()`` detaches the
+      GC/reorder listeners it registered on (the child's copies of) the
+      coordinator's managers;
+    - an installed :class:`~repro.profiler.Profiler` — its wrappers are
+      monkey-patched onto the ``Relation`` *class*, so without an
+      explicit ``uninstall()`` every worker relation op would keep
+      recording events into the forked profiler copy and its reorder
+      listeners would stay hooked on inherited managers (this was the
+      gap: clearing ``Relation.profiler`` alone leaves the patched
+      methods live);
+    - as a belt-and-braces backstop, any listener the above didn't own
+      is cleared from managers reachable through the inherited profiler
+      (third-party hooks must not fire in a child either).
+    """
     try:
         from repro import telemetry as _telemetry
+
         _telemetry.disable()
     except Exception:
         pass
-    Relation.profiler = None
+    prof = getattr(Relation, "profiler", None)
+    if prof is not None:
+        try:
+            observed = list(getattr(prof, "_observed_managers", ()))
+            prof.uninstall()
+            for manager in observed:
+                for attr in ("gc_listeners", "reorder_listeners"):
+                    listeners = getattr(manager, attr, None)
+                    if listeners:
+                        listeners.clear()
+        except Exception:
+            Relation.profiler = None
+
+
+def _worker_telemetry(trace_spec: Optional[dict], manager):
+    """Start the worker-local telemetry session (or none).
+
+    The session is private to this process: a bounded tracer plus the
+    worker's own manager wired for per-span kernel-counter deltas.  It
+    is registered as the process-global active session so the existing
+    ``traced`` instrumentation on ``Relation`` and the backend adapters
+    records into the worker's lane — never into coordinator state,
+    which :func:`_sever_inherited_observers` has already detached.
+    """
+    if not trace_spec or not trace_spec.get("enabled"):
+        return None
+    from repro import telemetry as _telemetry
+
+    session = _telemetry.Telemetry(
+        max_spans=int(trace_spec.get("max_spans", 50_000))
+    )
+    _telemetry.enable(session)
+    session.instrument_manager(manager)
+    return session
+
+
+def _drain_worker_spans(wtel) -> Optional[dict]:
+    """Pack the worker session's finished spans (plus a clock sample for
+    offset alignment) into a picklable result-message extra; clears the
+    worker tracer so buffers stay bounded per task."""
+    if wtel is None:
+        return None
+    tracer = wtel.tracer
+    spans = tracer.export_spans()
+    dropped = tracer.dropped
+    tracer.clear()
+    return {
+        "pid": os.getpid(),
+        "clock": time.perf_counter(),
+        "spans": spans,
+        "dropped": dropped,
+    }
+
+
+def _worker_main(worker_id: int, init_bytes: bytes, task_q, result_q) -> None:
+    """Worker process entry point (module-level, so ``spawn`` works)."""
+    # Under fork the child inherits the coordinator's telemetry session
+    # and profiler hooks; sever everything so worker-side kernel calls
+    # never touch coordinator-owned state, then (when the coordinator
+    # asked for tracing) open a worker-local session whose span buffers
+    # ship back with each result.
+    _sever_inherited_observers()
+    wtel = None
     try:
         from repro.relations.fixpoint import (
             eval_rule_body,
@@ -175,6 +254,7 @@ def _worker_main(worker_id: int, init_bytes: bytes, task_q, result_q) -> None:
         recursive = set(init["recursive"])
         rules = init["rules"]
         fi = init.get("fault_injection")
+        wtel = _worker_telemetry(init.get("trace"), manager)
         facts = {
             name: _make_relation(
                 u, rel_schemas[name], loads_diagram_binary(manager, payload)
@@ -183,10 +263,20 @@ def _worker_main(worker_id: int, init_bytes: bytes, task_q, result_q) -> None:
         }
     except BaseException as exc:  # report anything, incl. SystemExit
         try:
-            result_q.put(("init-error", False, repr(exc), worker_id, 0.0, None))
+            result_q.put(
+                ("init-error", False, repr(exc), worker_id, 0.0, None, None)
+            )
         except Exception:
             pass
         return
+    if wtel is not None:
+        # Announce the worker's clock so the coordinator can align this
+        # lane's spans before any task result arrives.
+        try:
+            result_q.put(("init-ok", True, None, worker_id, 0.0, None,
+                          {"pid": os.getpid(), "clock": time.perf_counter()}))
+        except Exception:
+            pass
     while True:
         msg = task_q.get()
         if msg is None:
@@ -199,7 +289,15 @@ def _worker_main(worker_id: int, init_bytes: bytes, task_q, result_q) -> None:
             stats = manager.stats
             hits0, misses0 = stats.op_totals()
             nodes0 = stats.nodes_created
-            with u.scope():
+            task_span = (
+                wtel.span(
+                    "parallel.worker_task", cat="worker",
+                    rule=rule.label, iteration=iteration, attempt=attempt,
+                )
+                if wtel is not None
+                else contextlib.nullcontext()
+            )
+            with task_span, u.scope():
                 wire_rels = {
                     wkey: _make_relation(
                         u,
@@ -253,13 +351,15 @@ def _worker_main(worker_id: int, init_bytes: bytes, task_q, result_q) -> None:
             }
             result_q.put(
                 (key, True, payload, worker_id,
-                 time.perf_counter() - start, kstats)
+                 time.perf_counter() - start, kstats,
+                 _drain_worker_spans(wtel))
             )
         except BaseException as exc:
             try:
                 result_q.put(
                     (key, False, repr(exc), worker_id,
-                     time.perf_counter() - start, None)
+                     time.perf_counter() - start, None,
+                     _drain_worker_spans(wtel))
                 )
             except Exception:
                 return
@@ -331,13 +431,21 @@ class ParallelExecutor:
         workers: Optional[int] = None,
         task_timeout: Optional[float] = None,
         fault_injection: Optional[dict] = None,
+        trace: Optional[bool] = None,
+        trace_max_spans: int = 50_000,
     ) -> None:
+        from repro import telemetry as _telemetry
+
         self.universe = universe
         self.rules = list(rules)
         self.recursive = set(recursive_names)
         self.rel_schemas = rel_schemas
         self.workers = max(1, workers or min(4, os.cpu_count() or 1))
         self.task_timeout = 60.0 if task_timeout is None else task_timeout
+        #: Whether workers run a local tracing session and ship span
+        #: buffers back with each result; defaults to "the coordinator
+        #: had telemetry on when the executor was created".
+        self.trace = _telemetry.is_enabled() if trace is None else bool(trace)
         self.broken = False
         self.failure_reason: Optional[str] = None
         self._pool: Optional[_Pool] = None
@@ -353,7 +461,15 @@ class ParallelExecutor:
             "bytes_returned": 0,
             "wire_cache_hits": 0,
             "bytes_saved": 0,
+            "worker_spans": 0,
+            "worker_spans_dropped": 0,
         }
+        #: Per-pid clock alignment: the smallest observed
+        #: ``coordinator_perf_counter_at_receive - worker clock sample``
+        #: over all messages from that pid.  Queue latency only inflates
+        #: a sample, so the minimum converges on the true offset between
+        #: the two processes' monotonic clocks.
+        self._clock_offsets: Dict[int, float] = {}
         #: Cross-round wire-bytes cache: slot -> (node, reorder
         #: generation, bytes).  Each cached node carries one extra
         #: manager reference (dropped on replacement and in close())
@@ -375,6 +491,10 @@ class ParallelExecutor:
                 "recursive": sorted(self.recursive),
                 "rel_schemas": rel_schemas,
                 "fault_injection": fault_injection,
+                "trace": {
+                    "enabled": self.trace,
+                    "max_spans": int(trace_max_spans),
+                },
             }
             self._init_bytes = pickle.dumps(
                 init, protocol=pickle.HIGHEST_PROTOCOL
@@ -491,6 +611,7 @@ class ParallelExecutor:
                 messages[(ri, pos)] = (ri, pos, plan, wires)
 
         results: Dict[Tuple[int, int], tuple] = {}
+        lane_metas: List[Tuple[int, dict]] = []
         pending = dict(messages)
         with tel.span("parallel.dispatch", cat="parallel",
                       iteration=iteration, tasks=len(messages),
@@ -502,9 +623,10 @@ class ParallelExecutor:
                     break
                 if attempt:
                     self.counters["retries"] += len(pending)
-                ok, failures, healthy = self._run_batch(
+                ok, failures, healthy, metas = self._run_batch(
                     pending, attempt, iteration
                 )
+                lane_metas.extend(metas)
                 results.update(ok)
                 for k in ok:
                     pending.pop(k, None)
@@ -549,14 +671,54 @@ class ParallelExecutor:
                     worker=wid, rule=rule.label, iteration=iteration,
                     bytes_out=len(payload), **(kstats or {}),
                 )
+            self._merge_worker_spans(tel, lane_metas)
         return [outs[key] for key in ((ri, pos) for ri, pos in tasks)]
+
+    def _merge_worker_spans(
+        self, tel, lane_metas: Sequence[Tuple[int, dict]]
+    ) -> None:
+        """Fold shipped worker span buffers into the coordinator session.
+
+        Each span's timestamps are translated from the worker's
+        ``perf_counter`` domain into the coordinator's by adding the
+        per-pid offset measured from message round-trips (see
+        ``_clock_offsets``), so all lanes share one timeline in the
+        merged Chrome trace.
+        """
+        add = getattr(tel, "add_worker_spans", None)
+        if add is None:
+            return
+        for wid, meta in lane_metas:
+            spans = meta.get("spans") or ()
+            dropped = int(meta.get("dropped", 0))
+            if not spans and not dropped:
+                continue
+            pid = int(meta["pid"])
+            offset = self._clock_offsets.get(pid, 0.0)
+            if offset:
+                aligned = []
+                for span in spans:
+                    span = dict(span)
+                    span["start"] = span["start"] + offset
+                    span["end"] = span["end"] + offset
+                    aligned.append(span)
+                spans = aligned
+            add(
+                name=f"worker-{wid} (pid {pid})",
+                pid=pid,
+                spans=spans,
+                dropped=dropped,
+            )
+            self.counters["worker_spans"] += len(spans)
+            self.counters["worker_spans_dropped"] += dropped
 
     def _run_batch(self, pending: Dict, attempt: int, iteration: int):
         """Ship ``pending`` to the pool and collect until done or stalled.
 
-        Returns ``(ok, failures, healthy)``: results keyed by task,
-        cleanly-reported worker errors, and whether the pool made
-        progress (False means hang/crash — terminate and restart it).
+        Returns ``(ok, failures, healthy, lane_metas)``: results keyed
+        by task, cleanly-reported worker errors, whether the pool made
+        progress (False means hang/crash — terminate and restart it),
+        and the worker span buffers that rode along with the messages.
         """
         pool = self._pool
         for key, (ri, pos, plan, wires) in pending.items():
@@ -568,6 +730,7 @@ class ParallelExecutor:
         waiting = set(pending)
         ok: Dict = {}
         failures: List[Tuple[tuple, str]] = []
+        lane_metas: List[Tuple[int, dict]] = []
         deadline = time.monotonic() + self.task_timeout
         dead_seen = False
         healthy = True
@@ -589,11 +752,28 @@ class ParallelExecutor:
                     )
                     break
                 continue
-            key, success, payload, wid, elapsed, kstats = msg
+            key, success, payload, wid, elapsed, kstats, meta = msg
+            if meta is not None and "clock" in meta:
+                # Offset sample: the worker stamped its perf_counter at
+                # send time; queue latency only makes the receive-side
+                # difference larger, so the per-pid minimum converges on
+                # the true clock offset.
+                off = time.perf_counter() - meta["clock"]
+                pid = int(meta["pid"])
+                prev = self._clock_offsets.get(pid)
+                self._clock_offsets[pid] = (
+                    off if prev is None else min(prev, off)
+                )
+            if meta is not None and (
+                meta.get("spans") or meta.get("dropped")
+            ):
+                lane_metas.append((wid, meta))
             if key == "init-error":
                 healthy = False
                 self.failure_reason = f"worker init failed: {payload}"
                 break
+            if key == "init-ok":
+                continue
             if key not in waiting:
                 continue
             waiting.discard(key)
@@ -602,7 +782,7 @@ class ParallelExecutor:
                 ok[key] = (payload, wid, elapsed, kstats)
             else:
                 failures.append((key, payload))
-        return ok, failures, healthy
+        return ok, failures, healthy, lane_metas
 
     # -- pool lifecycle ------------------------------------------------
 

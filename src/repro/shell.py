@@ -364,9 +364,27 @@ class RelationalShell(cmd.Cmd):
             telemetry.disable()
             self._say("telemetry off")
         elif mode == "status":
-            self._say(
-                "telemetry is " + ("on" if telemetry.is_enabled() else "off")
-            )
+            session = telemetry.active()
+            if not session.enabled:
+                self._say("telemetry is off")
+                return
+            tracer = session.tracer
+            line = f"telemetry is on: {len(tracer.spans)} spans"
+            if tracer.dropped:
+                line += (
+                    f", {tracer.dropped} dropped"
+                    f" (max_spans={tracer.max_spans})"
+                )
+            lanes = session.worker_lanes()
+            if lanes:
+                wdropped = sum(l["dropped"] for l in lanes)
+                line += (
+                    f"; {len(lanes)} worker lanes, "
+                    f"{sum(len(l['spans']) for l in lanes)} worker spans"
+                )
+                if wdropped:
+                    line += f" ({wdropped} dropped)"
+            self._say(line)
         else:
             raise _ShellError("usage: telemetry on|off|status")
 
@@ -405,6 +423,29 @@ class RelationalShell(cmd.Cmd):
             raise _ShellError("usage: trace FILE")
         count = session.write_chrome_trace(path, process_name="repro-shell")
         self._say(f"wrote {count} trace events to {path}")
+
+    def do_metrics(self, arg: str) -> None:
+        """metrics [FILE] -- emit the session metrics in Prometheus text
+        exposition format (also `:metrics`); with FILE, write the
+        exposition there plus a FILE.json snapshot for
+        `python -m repro.telemetry.top --file FILE.json`."""
+        session = self._need_telemetry()
+        from repro.telemetry.sampler import Sampler
+
+        Sampler(session).sample()  # fold in point-in-time gauges (RSS...)
+        text = session.prometheus_text()
+        path = arg.strip()
+        if not path:
+            for line in text.splitlines():
+                self._say(line)
+            return
+        import json as _json
+
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        with open(path + ".json", "w", encoding="utf-8") as fh:
+            _json.dump(session.json_snapshot(), fh, sort_keys=True)
+        self._say(f"wrote metrics exposition to {path} (+ {path}.json)")
 
     def do_quit(self, arg: str) -> bool:
         """quit -- leave the shell."""

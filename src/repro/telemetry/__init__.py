@@ -46,7 +46,9 @@ from repro.telemetry.export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.telemetry.exposition import check_exposition, exposition_text
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.sampler import MetricsServer, Sampler
 from repro.telemetry.session import NULL_TELEMETRY, NullTelemetry, Telemetry
 from repro.telemetry.tracer import Span, SpanTracer
 
@@ -55,14 +57,18 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsServer",
     "NullTelemetry",
+    "Sampler",
     "Span",
     "SpanTracer",
     "Telemetry",
     "active",
+    "check_exposition",
     "chrome_trace_events",
     "disable",
     "enable",
+    "exposition_text",
     "is_enabled",
     "span",
     "text_report",

@@ -72,6 +72,15 @@ class NullTelemetry:
     def record_sat(self, after, before=None, name="sat"):
         pass
 
+    def add_worker_spans(self, name, pid, spans, dropped=0, tid=1):
+        pass
+
+    def worker_lanes(self):
+        return []
+
+    def record_parallel(self, stats, prefix="parallel"):
+        pass
+
 
 NULL_TELEMETRY = NullTelemetry()
 
@@ -89,6 +98,9 @@ class Telemetry:
         )
         self._managers: List[Tuple[str, object]] = []
         self._listeners: List[Tuple[list, object]] = []
+        #: Span lanes shipped back from worker processes (see
+        #: :meth:`add_worker_spans`), keyed by (pid, tid).
+        self._worker_lanes: Dict[Tuple[int, int], dict] = {}
 
     # -- spans / sites -------------------------------------------------
 
@@ -176,6 +188,61 @@ class Telemetry:
                 pass
         self._listeners.clear()
 
+    # -- worker lanes --------------------------------------------------
+
+    def add_worker_spans(
+        self,
+        name: str,
+        pid: int,
+        spans: List[dict],
+        dropped: int = 0,
+        tid: int = 1,
+    ) -> None:
+        """Merge one worker's shipped span buffer into the session.
+
+        ``spans`` are the dicts of ``SpanTracer.export_spans`` with
+        timestamps *already aligned* into this (coordinator) process's
+        ``perf_counter`` domain; the caller measures the clock offset
+        (see ``repro.relations.parallel``).  Buffers from the same
+        (pid, tid) accumulate into one lane across rounds; span indices
+        are re-based so parent links stay intact within the lane.
+        """
+        lane = self._worker_lanes.get((pid, tid))
+        if lane is None:
+            lane = self._worker_lanes[(pid, tid)] = {
+                "name": name, "pid": pid, "tid": tid,
+                "spans": [], "dropped": 0,
+            }
+        base = len(lane["spans"])
+        for span in spans:
+            shifted = dict(span)
+            shifted["index"] = span["index"] + base
+            if span["parent"] >= 0:
+                shifted["parent"] = span["parent"] + base
+            lane["spans"].append(shifted)
+        lane["dropped"] += int(dropped)
+        self.registry.counter("parallel.worker_spans").inc(len(spans))
+        if dropped:
+            self.registry.counter("parallel.worker_spans_dropped").inc(
+                int(dropped)
+            )
+
+    def worker_lanes(self) -> List[dict]:
+        """The accumulated worker lanes, ordered by (pid, tid)."""
+        return [self._worker_lanes[k] for k in sorted(self._worker_lanes)]
+
+    def record_parallel(self, stats: Optional[dict], prefix: str = "parallel") -> None:
+        """Fold a parallel solve's executor counters (retries, restarts,
+        wire-cache hits, bytes shipped...) into gauges the exposition
+        and ``top`` views can read."""
+        if not stats:
+            return
+        for key, value in stats.items():
+            if isinstance(value, bool):
+                self.registry.gauge(f"{prefix}.{key}").set(float(value))
+            elif isinstance(value, (int, float)):
+                self.registry.gauge(f"{prefix}.{key}").set(value)
+
     def record_sat(self, after: object, before: Optional[object] = None, name: str = "sat") -> None:
         """Fold one solve's stats into counters.
 
@@ -252,18 +319,58 @@ class Telemetry:
                 out[f"{prefix}.apply_cache.hit_rate"] = total_h / (total_h + total_m)
         out["telemetry.spans"] = len(self.tracer.spans)
         out["telemetry.spans_dropped"] = self.tracer.dropped
+        if self._worker_lanes:
+            out["telemetry.worker_lanes"] = len(self._worker_lanes)
+            out["telemetry.worker_spans"] = sum(
+                len(l["spans"]) for l in self._worker_lanes.values()
+            )
+            out["telemetry.worker_spans_dropped"] = sum(
+                l["dropped"] for l in self._worker_lanes.values()
+            )
         return out
+
+    def prometheus_text(self) -> str:
+        """The session's metrics in Prometheus text exposition format
+        (``text/plain; version=0.0.4``), ready to serve or write."""
+        from repro.telemetry import exposition as _exposition
+
+        self.collect()
+        extra = {
+            "telemetry.spans": len(self.tracer.spans),
+            "telemetry.spans_dropped": self.tracer.dropped,
+        }
+        return _exposition.exposition_text(self.registry, extra_gauges=extra)
+
+    def json_snapshot(self) -> Dict[str, object]:
+        """JSON-ready snapshot document (metrics + tracer bookkeeping),
+        the payload behind ``/metrics.json`` and the sampler's snapshot
+        file (what ``python -m repro.telemetry.top`` renders)."""
+        import time as _time
+
+        return {
+            "schema": 1,
+            "unixtime": _time.time(),
+            "metrics": self.metrics_snapshot(),
+        }
 
     def text_report(self, max_span_lines: int = 60) -> str:
         return _export.text_report(self.metrics_snapshot(), self.tracer, max_span_lines)
 
     def chrome_trace_events(self, process_name: str = "repro-jedd") -> List[dict]:
-        return _export.chrome_trace_events(self.tracer, process_name, self.metrics_snapshot())
+        return _export.chrome_trace_events(
+            self.tracer, process_name, self.metrics_snapshot(),
+            lanes=self.worker_lanes(),
+        )
 
     def write_chrome_trace(self, path: str, process_name: str = "repro-jedd") -> int:
-        return _export.write_chrome_trace(path, self.tracer, process_name, self.metrics_snapshot())
+        return _export.write_chrome_trace(
+            path, self.tracer, process_name, self.metrics_snapshot(),
+            lanes=self.worker_lanes(),
+        )
 
     def clear(self) -> None:
-        """Reset registry and spans, keeping manager/listener wiring."""
+        """Reset registry, spans, and worker lanes, keeping
+        manager/listener wiring."""
         self.registry.clear()
         self.tracer.clear()
+        self._worker_lanes.clear()

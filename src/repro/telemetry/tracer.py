@@ -212,6 +212,33 @@ class SpanTracer:
             if top.end is None:
                 top.end = now
 
+    def export_spans(self) -> List[Dict[str, object]]:
+        """The recorded spans as plain picklable dicts.
+
+        Timestamps stay in this process's raw ``perf_counter`` domain;
+        a consumer in another process aligns them with a measured clock
+        offset (see ``repro.relations.parallel``).  Open spans are
+        closed first so the export always carries balanced trees.
+        """
+        self.finish()
+        out: List[Dict[str, object]] = []
+        for span in self.spans:
+            d: Dict[str, object] = {
+                "name": span.name,
+                "cat": span.cat,
+                "start": span.start,
+                "end": span.end if span.end is not None else span.start,
+                "index": span.index,
+                "parent": span.parent,
+                "depth": span.depth,
+            }
+            if span.site is not None:
+                d["site"] = span.site
+            if span.args:
+                d["args"] = dict(span.args)
+            out.append(d)
+        return out
+
     def clear(self) -> None:
         self.spans.clear()
         self._stack.clear()

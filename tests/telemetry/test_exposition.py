@@ -1,0 +1,120 @@
+"""Tests for the Prometheus text-exposition writer and its line checker."""
+
+from repro.telemetry.exposition import (
+    check_exposition,
+    exposition_text,
+    sanitize_name,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.counter("bdd.nodes_created").inc(123)
+    registry.counter("bdd.apply_cache.hits", op="and").inc(7)
+    registry.counter("bdd.apply_cache.hits", op="or").inc(9)
+    registry.gauge("bdd.table.live_nodes").set(456)
+    registry.histogram("bdd.gc.pause_seconds").observe(0.002)
+    registry.histogram("bdd.gc.pause_seconds").observe(0.2)
+    return registry
+
+
+class TestSanitizeName:
+    def test_dots_become_underscores(self):
+        assert sanitize_name("bdd.apply_cache.hits") == "bdd_apply_cache_hits"
+
+    def test_leading_digit_gets_prefix(self):
+        assert sanitize_name("2fast").startswith("_")
+
+    def test_bad_chars_replaced(self):
+        assert sanitize_name("a-b c/d") == "a_b_c_d"
+
+
+class TestExpositionText:
+    def test_output_passes_own_checker(self):
+        text = exposition_text(_registry())
+        assert check_exposition(text) == []
+
+    def test_counter_gets_total_suffix(self):
+        text = exposition_text(_registry())
+        assert "bdd_nodes_created_total 123" in text
+        assert "# TYPE bdd_nodes_created_total counter" in text
+
+    def test_labelled_series_share_one_family_header(self):
+        text = exposition_text(_registry())
+        assert text.count("# TYPE bdd_apply_cache_hits_total counter") == 1
+        assert 'bdd_apply_cache_hits_total{op="and"} 7' in text
+        assert 'bdd_apply_cache_hits_total{op="or"} 9' in text
+
+    def test_gauge_plain(self):
+        text = exposition_text(_registry())
+        assert "# TYPE bdd_table_live_nodes gauge" in text
+        assert "bdd_table_live_nodes 456" in text
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = exposition_text(_registry())
+        lines = [l for l in text.splitlines()
+                 if l.startswith("bdd_gc_pause_seconds_bucket")]
+        assert lines, text
+        # Cumulative counts never decrease and +Inf carries the total.
+        counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+        assert counts == sorted(counts)
+        assert lines[-1].startswith('bdd_gc_pause_seconds_bucket{le="+Inf"}')
+        assert counts[-1] == 2
+        assert "bdd_gc_pause_seconds_count 2" in text
+        assert "bdd_gc_pause_seconds_sum" in text
+
+    def test_extra_gauges(self):
+        text = exposition_text(
+            MetricsRegistry(), extra_gauges={"telemetry.spans": 42}
+        )
+        assert "telemetry_spans 42" in text
+        assert check_exposition(text) == []
+
+    def test_empty_registry_is_empty_text(self):
+        assert exposition_text(MetricsRegistry()) == ""
+
+
+class TestChecker:
+    def test_rejects_sample_without_type(self):
+        problems = check_exposition("orphan_metric 1\n")
+        assert any("no preceding # TYPE" in p for p in problems)
+
+    def test_rejects_malformed_line(self):
+        text = "# TYPE x gauge\nx{ 1\n"
+        assert any("malformed" in p for p in check_exposition(text))
+
+    def test_rejects_unquoted_label_value(self):
+        text = '# TYPE x gauge\nx{op=and} 1\n'
+        assert any("unquoted" in p for p in check_exposition(text))
+
+    def test_rejects_histogram_missing_parts(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 1\n'
+            "h_sum 0.5\n"
+        )
+        problems = check_exposition(text)
+        assert any("h_count" in p for p in problems)
+
+    def test_rejects_counter_without_total(self):
+        text = "# TYPE c counter\nc 1\n"
+        assert any("_total" in p for p in check_exposition(text))
+
+    def test_accepts_timestamped_sample(self):
+        text = "# TYPE x gauge\nx 1 1700000000000\n"
+        assert check_exposition(text) == []
+
+
+class TestSessionIntegration:
+    def test_session_prometheus_text_is_valid(self):
+        from repro.telemetry.session import Telemetry
+
+        session = Telemetry()
+        with session.span("work"):
+            pass
+        session.registry.counter("sat.solves").inc()
+        text = session.prometheus_text()
+        assert check_exposition(text) == []
+        assert "telemetry_spans 1" in text
+        assert "telemetry_spans_dropped 0" in text

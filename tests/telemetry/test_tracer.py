@@ -137,3 +137,45 @@ class TestCompleteAndLimits:
         assert tracer.spans == []
         assert tracer.dropped == 0
         assert tracer.current_site() is None
+
+
+class TestExportSpans:
+    def test_dict_shape_and_tree_links(self):
+        tracer = SpanTracer()
+        with tracer.span("outer", cat="host", rule="r1"):
+            with tracer.span("inner", cat="kernel"):
+                pass
+        out = tracer.export_spans()
+        assert [d["name"] for d in out] == ["outer", "inner"]
+        outer, inner = out
+        assert inner["parent"] == outer["index"]
+        assert inner["depth"] == 1
+        assert outer["args"] == {"rule": "r1"}
+        assert inner["end"] >= inner["start"] >= outer["start"]
+
+    def test_open_spans_closed_before_export(self):
+        tracer = SpanTracer()
+        tracer.span("abandoned").__enter__()
+        out = tracer.export_spans()
+        assert out[0]["end"] >= out[0]["start"]
+
+    def test_exports_are_picklable(self):
+        import pickle
+
+        tracer = SpanTracer()
+        with tracer.site_span("main:1,1", "main:1,1"):
+            pass
+        out = tracer.export_spans()
+        assert pickle.loads(pickle.dumps(out)) == out
+        assert out[0]["site"] == "main:1,1"
+
+    def test_clear_after_export_resets_dropped(self):
+        tracer = SpanTracer(max_spans=1)
+        with tracer.span("kept"):
+            pass
+        with tracer.span("lost"):
+            pass
+        assert tracer.dropped == 1
+        tracer.export_spans()
+        tracer.clear()
+        assert tracer.dropped == 0 and tracer.spans == []

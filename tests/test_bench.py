@@ -1,0 +1,135 @@
+"""Tests for the continuous perf baseline harness (``repro.bench``)."""
+
+import copy
+import json
+
+import pytest
+
+from repro import bench
+
+
+@pytest.fixture(scope="module")
+def closure_results():
+    # One cheap real run shared across the module; the closure canary
+    # finishes in tens of milliseconds.
+    return bench.run_workloads(["closure"], repeats=1, verbose=False)
+
+
+def _fake_artifact(wall=1.0, work=50_000.0, peak=4_000.0, shipped=100_000.0):
+    return {
+        "schema": bench.SCHEMA,
+        "created": 0.0,
+        "meta": bench.machine_meta(),
+        "config": {"chain_depth": 80, "repeats": 1},
+        "workloads": {
+            "pointsto-parallel2": {
+                "wall_seconds": wall,
+                "kernel_work": work,
+                "peak_nodes": peak,
+                "bytes_shipped": shipped,
+            }
+        },
+    }
+
+
+class TestRunAndArtifact:
+    def test_closure_measures(self, closure_results):
+        m = closure_results["closure"]
+        assert set(bench.MEASURES) <= set(m)
+        assert m["wall_seconds"] > 0
+        assert m["kernel_work"] > 0
+        assert m["peak_nodes"] > 0
+        assert m["bytes_shipped"] == 0  # serial workload ships nothing
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            bench.run_workloads(["no-such-workload"], verbose=False)
+
+    def test_write_artifact_schema(self, tmp_path, closure_results):
+        path = str(tmp_path / "BENCH.json")
+        doc = bench.write_artifact(path, closure_results, chain_depth=40)
+        on_disk = json.loads(open(path).read())
+        assert on_disk == doc  # json round-trips floats exactly
+        assert on_disk["schema"] == bench.SCHEMA
+        assert on_disk["config"]["chain_depth"] == 40
+        assert "python" in on_disk["meta"]
+        assert "cpu_count" in on_disk["meta"]
+        assert "closure" in on_disk["workloads"]
+
+
+class TestDiff:
+    def test_identical_artifacts_clean(self):
+        doc = _fake_artifact()
+        regressions, _ = bench.diff(doc, copy.deepcopy(doc))
+        assert regressions == []
+
+    def test_injected_regression_flagged(self):
+        base = _fake_artifact()
+        slow = _fake_artifact(work=150_000.0)
+        regressions, _ = bench.diff(base, slow)
+        assert len(regressions) == 1
+        assert "kernel_work" in regressions[0]
+        assert "+200.0%" in regressions[0]
+
+    def test_small_bases_are_noise_gated(self):
+        # 3x regression on a 10ms wall clock must NOT gate: below the
+        # _MIN_BASE noise floor.
+        base = _fake_artifact(wall=0.010)
+        slow = _fake_artifact(wall=0.030)
+        regressions, _ = bench.diff(base, slow)
+        assert regressions == []
+
+    def test_improvement_is_a_note_not_a_regression(self):
+        base = _fake_artifact(work=150_000.0)
+        fast = _fake_artifact(work=50_000.0)
+        regressions, notes = bench.diff(base, fast)
+        assert regressions == []
+        assert any("improved" in n for n in notes)
+
+    def test_threshold_is_configurable(self):
+        base = _fake_artifact(work=100_000.0)
+        new = _fake_artifact(work=110_000.0)
+        assert bench.diff(base, new, threshold=0.25)[0] == []
+        assert len(bench.diff(base, new, threshold=0.05)[0]) == 1
+
+    def test_missing_and_new_workloads_are_notes(self):
+        base = _fake_artifact()
+        new = _fake_artifact()
+        new["workloads"]["fresh"] = dict(
+            new["workloads"]["pointsto-parallel2"]
+        )
+        del new["workloads"]["pointsto-parallel2"]
+        regressions, notes = bench.diff(base, new)
+        assert regressions == []
+        assert any("missing from new artifact" in n for n in notes)
+        assert any("no baseline" in n for n in notes)
+
+    def test_meta_drift_is_a_note(self):
+        base = _fake_artifact()
+        new = _fake_artifact()
+        new["meta"]["cpu_count"] = (base["meta"].get("cpu_count") or 0) + 64
+        _, notes = bench.diff(base, new)
+        assert any("cpu_count differs" in n for n in notes)
+
+
+class TestCli:
+    def test_out_writes_artifact(self, tmp_path, capsys):
+        path = str(tmp_path / "BENCH_7.json")
+        rc = bench.main(
+            ["--out", path, "--workloads", "closure", "--repeats", "1"]
+        )
+        assert rc == 0
+        doc = json.loads(open(path).read())
+        assert doc["workloads"]["closure"]["wall_seconds"] > 0
+
+    def test_diff_exit_codes(self, tmp_path):
+        base = str(tmp_path / "base.json")
+        slow = str(tmp_path / "slow.json")
+        json.dump(_fake_artifact(), open(base, "w"))
+        json.dump(_fake_artifact(work=150_000.0), open(slow, "w"))
+        assert bench.main(["--diff", base, base]) == 0
+        assert bench.main(["--diff", base, slow]) == 1
+        # A loose threshold lets the same pair pass.
+        assert bench.main(
+            ["--diff", base, slow, "--threshold", "3.0"]
+        ) == 0

@@ -337,3 +337,65 @@ class TestQuitting:
     def test_comments_and_blanks_skipped(self):
         out = io.StringIO()
         run_script(["# a comment", "", "   "], stdout=out)
+
+
+class TestMetricsCommand:
+    @pytest.fixture(autouse=True)
+    def _clean_session(self):
+        from repro import telemetry
+
+        telemetry.disable()
+        yield
+        telemetry.disable()
+
+    def test_metrics_requires_telemetry(self):
+        shell, out = script(["metrics"])
+        assert "error" in out and "telemetry is off" in out
+
+    def test_metrics_prints_valid_exposition(self):
+        from repro.telemetry.exposition import check_exposition
+
+        shell, out = script(["telemetry on", "metrics"])
+        lines = out.splitlines()
+        start = next(
+            i for i, l in enumerate(lines) if l.startswith("# HELP")
+        )
+        body = "\n".join(lines[start:])
+        assert "bdd_table_live_nodes" in body
+        assert "telemetry_spans" in body
+        assert check_exposition(body) == []
+
+    def test_metrics_writes_file_pair(self, tmp_path):
+        import json
+
+        from repro.telemetry.exposition import check_exposition
+
+        path = str(tmp_path / "m.prom")
+        shell, out = script(["telemetry on", f"metrics {path}"])
+        assert f"wrote metrics exposition to {path}" in out
+        assert check_exposition(open(path).read()) == []
+        doc = json.loads(open(path + ".json").read())
+        assert doc["schema"] == 1
+
+    def test_status_reports_dropped_spans(self):
+        from repro import telemetry
+
+        tel = telemetry.enable(max_spans=1)
+        for i in range(3):
+            with tel.span(f"work{i}"):
+                pass
+        shell, out = script(["telemetry status"])
+        assert "dropped (max_spans=1)" in out
+
+    def test_status_reports_worker_lanes(self):
+        from repro import telemetry
+
+        tel = telemetry.enable()
+        tel.add_worker_spans(
+            "worker-0 (pid 99)", 99,
+            [{"name": "t", "cat": "w", "start": 0.0, "end": 1.0,
+              "index": 0, "parent": -1, "depth": 0}],
+            dropped=2,
+        )
+        shell, out = script(["telemetry status"])
+        assert "1 worker lanes, 1 worker spans (2 dropped)" in out
