@@ -60,7 +60,7 @@ def _facts():
 
 def _solve(facts, kernel, session):
     au = AnalysisUniverse(facts, kernel=kernel)
-    solver = PointsTo(au, engine="seminaive")
+    solver = PointsTo(au, policy="seminaive")
     with session.span(f"points_to[{kernel}]", cat="bench", kernel=kernel):
         t0 = time.perf_counter()
         solver.solve()
@@ -146,7 +146,7 @@ def test_frontier_telemetry_small():
     tier-2 benchmark job even when the big run is being tuned)."""
     facts = synthesize("small", n_classes=40, seed=3)
     au = AnalysisUniverse(facts, kernel="arena")
-    solver = PointsTo(au, engine="seminaive")
+    solver = PointsTo(au, policy="seminaive")
     solver.solve()
     m = au.universe.manager
     profile = m.frontier_profile()

@@ -28,6 +28,7 @@ import pytest
 
 from repro import telemetry
 from repro.analyses import AnalysisUniverse, PointsTo, preset
+from repro.relations import ExecutionPolicy
 from repro.telemetry.sampler import Sampler
 from repro.telemetry.session import Telemetry
 
@@ -72,7 +73,9 @@ def _solve(facts, engine="seminaive", workers=None, session=None):
     au = AnalysisUniverse(facts)
     if session is not None:
         session.instrument_universe(au.universe)
-    solver = PointsTo(au, engine=engine, workers=workers)
+    solver = PointsTo(
+        au, policy=ExecutionPolicy(engine=engine, workers=workers)
+    )
     t0 = time.perf_counter()
     solver.solve()
     return time.perf_counter() - t0, solver

@@ -22,6 +22,7 @@ import time
 import pytest
 
 from repro.analyses import AnalysisUniverse, PointsTo, preset
+from repro.relations import ExecutionPolicy
 from repro.bdd.io import dumps_diagram, dumps_diagram_binary
 
 #: Length of the copy chain appended to the javac preset.
@@ -55,7 +56,9 @@ def facts():
 def timed_solve(facts, engine, workers=None):
     """(wall seconds, solver) for one points-to run on a fresh universe."""
     au = AnalysisUniverse(facts)
-    solver = PointsTo(au, engine=engine, workers=workers)
+    solver = PointsTo(
+        au, policy=ExecutionPolicy(engine=engine, workers=workers)
+    )
     t0 = time.perf_counter()
     solver.solve()
     return time.perf_counter() - t0, solver

@@ -57,7 +57,7 @@ def kernel_cost(facts, engine, cache_limit=None):
     manager = au.universe.manager
     manager.cache_limit = cache_limit
     manager.stats.reset()
-    solver = PointsTo(au, engine=engine)
+    solver = PointsTo(au, policy=engine)
     solver.solve()
     s = manager.stats
     misses = (
@@ -117,8 +117,8 @@ def test_engines_agree_tuple_for_tuple():
     au_sn = AnalysisUniverse(facts)
     au_sn.universe.manager.cache_limit = 256
     au_nv = AnalysisUniverse(facts)
-    sn = PointsTo(au_sn, engine="seminaive")
-    nv = PointsTo(au_nv, engine="naive")
+    sn = PointsTo(au_sn, policy="seminaive")
+    nv = PointsTo(au_nv, policy="naive")
     sn.solve()
     nv.solve()
 

@@ -1,0 +1,191 @@
+"""Boot the analysis service and drive an insert/retract session.
+
+This is the CI smoke client for ``python -m repro.service``: it starts
+the server as a subprocess, builds a small transitive-closure universe
+over the wire, registers a standing query, exercises DRed maintenance
+with an insert and a retract (checking each against a cold evaluation
+of the same facts), checkpoints the universe, and validates that the
+exported Chrome trace contains the ``incremental.*`` spans the update
+path emits.
+
+Run from anywhere::
+
+    python examples/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+_SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+sys.path.insert(0, _SRC)
+
+from repro.service import ServiceClient  # noqa: E402
+
+EXPECTED_SPANS = {
+    "incremental.update",
+    "incremental.overdelete",
+    "incremental.rederive",
+    "incremental.grow",
+}
+
+SETUP = [
+    "domain Node 16",
+    "attribute src : Node",
+    "attribute dst : Node",
+    "attribute mid : Node",
+    "physdom N1 4",
+    "physdom N2 4",
+    "finalize",
+    "rel edge src:N1 dst:N2",
+    "rel path src:N1 dst:N2",
+    "insert edge a b",
+    "insert edge b c",
+    "insert edge c d",
+]
+
+# path is seeded *empty* with a base-case rule copying edge: the
+# inserted/retracted facts then flow through the rules, which is what
+# lets DRed maintenance stay bit-identical to a cold re-solve.
+TC_RULES = [
+    {
+        "head": "path",
+        "vars": ["src", "dst"],
+        "body": [["edge", ["src", "dst"]]],
+    },
+    {
+        "head": "path",
+        "vars": ["src", "dst"],
+        "body": [
+            ["edge", ["src", "mid"]],
+            ["path", {"src": "mid", "dst": "dst"}],
+        ],
+    },
+]
+
+
+def check(ok: bool, what: str) -> None:
+    if not ok:
+        raise SystemExit(f"FAIL: {what}")
+    print(f"ok: {what}")
+
+
+def main() -> None:
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "--port", "0"],
+        stdout=subprocess.PIPE,
+        text=True,
+        # The server subprocess must find the package no matter where
+        # this script was launched from.
+        env={
+            **os.environ,
+            "PYTHONPATH": _SRC
+            + os.pathsep
+            + os.environ.get("PYTHONPATH", ""),
+        },
+    )
+    try:
+        ready = server.stdout.readline().strip()
+        check(ready.startswith("SERVICE READY "), f"server boot ({ready})")
+        host, _, port = ready.split()[-1].rpartition(":")
+        client = ServiceClient(host, int(port))
+        check(
+            client.ping()["protocol"] >= 1, "ping reports protocol version"
+        )
+        client.request("telemetry", mode="on")
+        client.open("smoke")
+        client.script("smoke", SETUP)
+        created = client.request(
+            "query.create", universe="smoke", query="tc",
+            facts=["edge"], relations={"path": "path"}, rules=TC_RULES,
+        )
+        check(created["sizes"]["path"] == 6, "initial solve (6 paths)")
+
+        # Insert closes the cycle: every ordered pair becomes a path.
+        updated = client.request(
+            "query.update", universe="smoke", query="tc",
+            insert={"edge": [["d", "a"]]},
+        )
+        check(updated["sizes"]["path"] == 16, "insert maintains closure")
+        check(
+            updated["stats"].get("kernel_work", 0) > 0,
+            "update reports kernel work",
+        )
+
+        # Retract restores the chain, exercising delete/rederive.
+        reverted = client.request(
+            "query.update", universe="smoke", query="tc",
+            retract={"edge": [["d", "a"]]},
+        )
+        check(reverted["sizes"]["path"] == 6, "retract maintains closure")
+        check(
+            reverted["stats"].get("deleted", 0) > 0,
+            "retract reports over-deleted tuples",
+        )
+        got = client.request(
+            "query.get", universe="smoke", query="tc", relation="path"
+        )
+        check(
+            sorted(map(tuple, got["tuples"]))
+            == [("a", "b"), ("a", "c"), ("a", "d"),
+                ("b", "c"), ("b", "d"), ("c", "d")],
+            "warm result matches the cold chain closure",
+        )
+        client.request(
+            "query.get", universe="smoke", query="tc", relation="path"
+        )
+        wire = client.request(
+            "query.get", universe="smoke", query="tc", relation="path"
+        )["wire_cache"]
+        check(wire["hits"] > 0, "wire cache reuses serialized payloads")
+
+        with tempfile.TemporaryDirectory() as td:
+            path = os.path.join(td, "smoke.jddu")
+            saved = client.request("save", universe="smoke", path=path)
+            check(saved["bytes"] > 0, "universe checkpoint written")
+            restored = client.request(
+                "load", universe="restored", path=path
+            )
+            check(
+                "tc_path" in restored["relations"],
+                "checkpoint restores standing-query results",
+            )
+            check(
+                client.eval("restored", "tc_path")["size"] == 6,
+                "restored universe evaluates through the shell path",
+            )
+
+            trace_path = os.path.join(td, "service_trace.json")
+            client.request("trace", path=trace_path)
+            with open(trace_path, "r", encoding="utf-8") as fh:
+                trace = json.load(fh)
+            events = trace.get("traceEvents", trace)
+            names = {
+                e.get("name")
+                for e in events
+                if isinstance(e, dict)
+            }
+            missing = EXPECTED_SPANS - names
+            check(not missing, f"incremental.* spans in trace ({missing or 'all present'})")
+        metrics = client.request("metrics")["metrics"]
+        check(
+            metrics.get("incremental.kernel_work", 0) > 0,
+            "incremental.kernel_work gauge exported",
+        )
+        client.request("shutdown")
+        client.close()
+        check(server.wait(timeout=10) == 0, "server exits cleanly")
+        print("service smoke session passed")
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+
+if __name__ == "__main__":
+    main()

@@ -158,10 +158,14 @@ def main() -> None:
             raise SystemExit(2)
         workers = int(argv[i + 1])
         argv = argv[:i] + argv[i + 2:]
+    # The command-line flags collapse into one ExecutionPolicy shared
+    # by every analysis below.
+    from repro.relations import ExecutionPolicy
+
+    policy = ExecutionPolicy(engine=engine, workers=workers)
     name = argv[0] if argv else "compress"
     facts = preset(name)
-    label = engine if workers is None else f"{engine} x{workers}"
-    print(f"benchmark {name}: {facts.counts()} [{label} engine]")
+    print(f"benchmark {name}: {facts.counts()} [{policy} engine]")
 
     session = telemetry.enable() if trace_path else None
 
@@ -184,7 +188,7 @@ def main() -> None:
 
     t0 = time.perf_counter()
     with _phase(session, "points-to"):
-        pta = PointsTo(au, engine=engine, workers=workers)
+        pta = PointsTo(au, policy=policy)
         pt = pta.solve()
     print(f"[2] points-to ({engine}): {pt.size()} (var, obj) pairs in "
           f"{pta.iterations} iterations ({time.perf_counter() - t0:.3f}s); "
@@ -200,7 +204,7 @@ def main() -> None:
 
     t0 = time.perf_counter()
     with _phase(session, "call-graph"):
-        cg = CallGraph(au, pt, engine=engine, workers=workers)
+        cg = CallGraph(au, pt, policy)
         edges = cg.build()
     print(f"[3] call graph: {edges.size()} caller/callee edges "
           f"({time.perf_counter() - t0:.3f}s)")
@@ -215,7 +219,7 @@ def main() -> None:
 
     t0 = time.perf_counter()
     with _phase(session, "side-effects"):
-        se = SideEffects(au, pt, edges, engine=engine, workers=workers)
+        se = SideEffects(au, pt, edges, policy)
         reads, writes = se.solve()
     print(f"[4] side effects: {reads.size()} reads, {writes.size()} writes "
           f"({time.perf_counter() - t0:.3f}s)")

@@ -14,7 +14,7 @@ from repro.analyses.facts import ProgramFacts
 from repro.analyses.pointsto import naive_points_to
 from repro.analyses.universe import AnalysisUniverse
 from repro.analyses.vcall import VirtualCallResolver, naive_resolve
-from repro.relations import FixpointEngine, Relation
+from repro.relations import ExecutionPolicy, FixpointEngine, Relation
 
 __all__ = ["CallGraph", "naive_call_graph"]
 
@@ -26,16 +26,19 @@ class CallGraph:
         self,
         au: AnalysisUniverse,
         pt: Relation,
-        engine: str = "seminaive",
+        policy: ExecutionPolicy | str | None = None,
+        *,
+        engine: str | None = None,
         workers: int | None = None,
     ) -> None:
-        from repro.analyses.pointsto import _check_engine
-
         self.au = au
         self.pt = pt
-        self.engine = _check_engine(engine)
-        self.workers = workers
-        self.resolver = VirtualCallResolver(au, engine=engine, workers=workers)
+        self.policy = ExecutionPolicy.from_deprecated(
+            policy, "CallGraph", engine=engine, workers=workers
+        )
+        self.engine = self.policy.engine
+        self.workers = self.policy.workers
+        self.resolver = VirtualCallResolver(au, self.policy)
         self.site_targets: Relation | None = None
         self.edges: Relation | None = None
 
@@ -77,9 +80,7 @@ class CallGraph:
         """Methods transitively reachable from ``roots`` (schema: method)."""
         assert self.edges is not None, "build() first"
         if self.engine != "naive":
-            eng = FixpointEngine(
-                self.au.universe, engine=self.engine, workers=self.workers
-            )
+            eng = FixpointEngine(self.au.universe, self.policy)
             eng.fact("calls", self.edges)
             eng.relation("reached", roots)
             eng.rule("reached", ("callee",), [

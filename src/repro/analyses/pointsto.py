@@ -15,8 +15,11 @@ Rules iterated to a simultaneous fixpoint:
 
 By default the rules run on the semi-naive
 :class:`~repro.relations.fixpoint.FixpointEngine` (each round joins
-only the previous round's delta); ``engine="naive"`` selects the
-original whole-relation loop, kept for differential testing.  The
+only the previous round's delta); how they run is one
+:class:`~repro.relations.ExecutionPolicy` value —
+``policy="naive"`` selects the original whole-relation loop, kept for
+differential testing, and ``ExecutionPolicy(engine="parallel",
+workers=4)`` fans rule bodies out across worker processes.  The
 naive version runs the same chaotic iteration on Python sets.
 """
 
@@ -26,18 +29,9 @@ from typing import Dict, Set, Tuple
 
 from repro.analyses.facts import ProgramFacts
 from repro.analyses.universe import AnalysisUniverse
-from repro.relations import FixpointEngine, JeddError, Relation
+from repro.relations import ExecutionPolicy, FixpointEngine, Relation
 
 __all__ = ["PointsTo", "naive_points_to"]
-
-
-def _check_engine(engine: str) -> str:
-    if engine not in ("seminaive", "naive", "parallel"):
-        raise JeddError(
-            f"unknown engine {engine!r} "
-            "(expected 'seminaive', 'parallel' or 'naive')"
-        )
-    return engine
 
 
 class PointsTo:
@@ -54,7 +48,9 @@ class PointsTo:
         self,
         au: AnalysisUniverse,
         type_filter: bool = False,
-        engine: str = "seminaive",
+        policy: ExecutionPolicy | str | None = None,
+        *,
+        engine: str | None = None,
         workers: int | None = None,
     ) -> None:
         self.au = au
@@ -63,8 +59,11 @@ class PointsTo:
         self.store = au.store()
         self.load = au.load()
         self.type_filter = type_filter
-        self.engine = _check_engine(engine)
-        self.workers = workers
+        self.policy = ExecutionPolicy.from_deprecated(
+            policy, "PointsTo", engine=engine, workers=workers
+        )
+        self.engine = self.policy.engine
+        self.workers = self.policy.workers
         self.fixpoint: FixpointEngine | None = None
         self.compat: Relation | None = None
         self.pt: Relation | None = None
@@ -100,9 +99,7 @@ class PointsTo:
 
     def _solve_seminaive(self) -> Relation:
         au = self.au
-        eng = FixpointEngine(
-            au.universe, engine=self.engine, workers=self.workers
-        )
+        eng = FixpointEngine(au.universe, self.policy)
         self.fixpoint = eng
         eng.fact("assign", self.assign)
         eng.fact("store", self.store)

@@ -15,7 +15,7 @@ from repro.analyses.callgraph import naive_call_graph
 from repro.analyses.facts import ProgramFacts
 from repro.analyses.pointsto import naive_points_to
 from repro.analyses.universe import AnalysisUniverse
-from repro.relations import FixpointEngine, Relation
+from repro.relations import ExecutionPolicy, FixpointEngine, Relation
 
 __all__ = ["SideEffects", "naive_side_effects"]
 
@@ -28,16 +28,19 @@ class SideEffects:
         au: AnalysisUniverse,
         pt: Relation,
         call_edges: Relation,
-        engine: str = "seminaive",
+        policy: ExecutionPolicy | str | None = None,
+        *,
+        engine: str | None = None,
         workers: int | None = None,
     ) -> None:
-        from repro.analyses.pointsto import _check_engine
-
         self.au = au
         self.pt = pt
         self.call_edges = call_edges  # (caller, callee)
-        self.engine = _check_engine(engine)
-        self.workers = workers
+        self.policy = ExecutionPolicy.from_deprecated(
+            policy, "SideEffects", engine=engine, workers=workers
+        )
+        self.engine = self.policy.engine
+        self.workers = self.policy.workers
         self.writes: Relation | None = None
         self.reads: Relation | None = None
 
@@ -67,9 +70,7 @@ class SideEffects:
         """
         reads, writes = self._direct()
         if self.engine != "naive":
-            eng = FixpointEngine(
-                self.au.universe, engine=self.engine, workers=self.workers
-            )
+            eng = FixpointEngine(self.au.universe, self.policy)
             eng.fact("calls", self.call_edges)
             eng.relation("reads", reads)
             eng.relation("writes", writes)

@@ -13,7 +13,7 @@ from typing import Set, Tuple
 
 from repro.analyses.facts import ProgramFacts
 from repro.analyses.universe import AnalysisUniverse
-from repro.relations import FixpointEngine, Relation
+from repro.relations import ExecutionPolicy, FixpointEngine, Relation
 
 __all__ = ["VirtualCallResolver", "naive_resolve"]
 
@@ -24,16 +24,19 @@ class VirtualCallResolver:
     def __init__(
         self,
         au: AnalysisUniverse,
-        engine: str = "seminaive",
+        policy: ExecutionPolicy | str | None = None,
+        *,
+        engine: str | None = None,
         workers: int | None = None,
     ) -> None:
-        from repro.analyses.pointsto import _check_engine
-
         self.au = au
         self.declares = au.declares_method()
         self.extend = au.extend()
-        self.engine = _check_engine(engine)
-        self.workers = workers
+        self.policy = ExecutionPolicy.from_deprecated(
+            policy, "VirtualCallResolver", engine=engine, workers=workers
+        )
+        self.engine = self.policy.engine
+        self.workers = self.policy.workers
 
     def resolve(self, receiver_types: Relation) -> Relation:
         """Figure 4's ``resolve``.
@@ -51,7 +54,7 @@ class VirtualCallResolver:
         pairs up the hierarchy, stopping at the first class that
         declares the signature; ``answer`` collects the stops."""
         u = self.au.universe
-        eng = FixpointEngine(u, engine=self.engine, workers=self.workers)
+        eng = FixpointEngine(u, self.policy)
         eng.fact("declares", self.declares)
         # (type, signature) pairs with *some* declaration -- the
         # stratified-negation guard for "keep walking".

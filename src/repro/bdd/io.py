@@ -10,8 +10,9 @@ between runs.  Two formats share one set of semantics:
       <id> <var> <low> <high>
       ...
 
-- a compact **binary** wire format (``dumps_diagram_binary``): a 5-byte
-  header (magic ``JDDB`` + kind byte) followed by varint-packed fields.
+- a compact **binary** wire format (``dumps_diagram_binary``): a 6-byte
+  header (magic ``JDDB`` + version byte + kind byte, see
+  ``WIRE_VERSION``) followed by varint-packed fields.
   Each node record is ``<var> <low> <high>`` with the child references
   delta-encoded against the node's own id (children precede parents, so
   most references are small), which is what makes shipping diagrams
@@ -46,6 +47,15 @@ __all__ = [
 
 #: Magic prefix of the binary wire format.
 BINARY_MAGIC = b"JDDB"
+
+#: Version of the binary wire format this build writes.  The version
+#: byte is carried as ``0x80 | version`` between the magic and the kind
+#: byte: the high bit keeps it disjoint from the legacy kind bytes
+#: (0/1), so pre-versioning readers reject a versioned file loudly
+#: ("unknown binary diagram kind") instead of misparsing it, and this
+#: reader still accepts legacy files as version 0.  Bump on any
+#: incompatible layout change.
+WIRE_VERSION = 1
 
 
 def _is_zdd(manager) -> bool:
@@ -157,9 +167,12 @@ def load_diagram(manager, fp: TextIO) -> int:
 #
 # Layout (all integers LEB128 unsigned varints):
 #
-#     "JDDB"  kind(1 byte: 0=bdd 1=zdd)
+#     "JDDB"  version(1 byte: 0x80|WIRE_VERSION)  kind(1 byte: 0=bdd 1=zdd)
 #     num_vars  num_nodes  root
 #     num_nodes x ( var  low_code  high_code )
+#
+# Files written before versioning lack the version byte; they are
+# recognised by the kind byte's clear high bit and read as version 0.
 #
 # ``num_vars`` is the *minimal* variable count (1 + highest variable id
 # referenced), so a diagram produced in a manager that grew scratch
@@ -218,6 +231,7 @@ def dumps_diagram_binary(manager, root: int) -> bytes:
         if var > max_var:
             max_var = var
     out = bytearray(BINARY_MAGIC)
+    out.append(0x80 | WIRE_VERSION)
     out.append(1 if is_zdd else 0)
     _write_uvarint(out, max_var + 1)
     _write_uvarint(out, len(order))
@@ -237,7 +251,20 @@ def loads_diagram_binary(manager, data: bytes) -> int:
         raise BDDError("truncated binary diagram")
     if data[: len(BINARY_MAGIC)] != BINARY_MAGIC:
         raise BDDError("bad binary diagram magic")
-    kind = data[len(BINARY_MAGIC)]
+    pos = len(BINARY_MAGIC)
+    version = 0
+    if data[pos] & 0x80:
+        version = data[pos] & 0x7F
+        pos += 1
+        if version > WIRE_VERSION:
+            raise BDDError(
+                f"binary diagram has wire version {version}, this "
+                f"reader understands up to {WIRE_VERSION} "
+                "(refusing to guess at the layout)"
+            )
+        if pos >= len(data):
+            raise BDDError("truncated binary diagram")
+    kind = data[pos]
     is_zdd = _is_zdd(manager)
     expected = 1 if is_zdd else 0
     if kind not in (0, 1):
@@ -246,7 +273,7 @@ def loads_diagram_binary(manager, data: bytes) -> int:
         tag = "zdd" if kind else "bdd"
         want = "zdd" if expected else "bdd"
         raise BDDError(f"diagram kind {tag!r} does not match {want!r}")
-    pos = len(BINARY_MAGIC) + 1
+    pos += 1
     num_vars, pos = _read_uvarint(data, pos)
     num_nodes, pos = _read_uvarint(data, pos)
     root_id, pos = _read_uvarint(data, pos)

@@ -380,7 +380,11 @@ class Interpreter:
             maker = Relation.full if expr.full else Relation.empty
             return maker(self.universe, attrs, pds)
         lowered = self._lowerer.lower_into(expr, target_pds)
-        return self._eval_lowered(lowered, func, frame)
+        # The planner may have joined in any order; the declaration
+        # fixes the column order tuples() must enumerate in.
+        return self._eval_lowered(lowered, func, frame).ordered(
+            list(target.schema)
+        )
 
     def _eval_cond(
         self, cond: ast.Compare, func: Optional[str], frame: Dict

@@ -28,9 +28,11 @@ from repro.relations.io import (
     load_checkpoint,
     load_checkpoint_binary,
     load_tsv,
+    load_universe,
     save_checkpoint,
     save_checkpoint_binary,
     save_tsv,
+    save_universe,
 )
 from repro.relations.relation import Relation, Schema
 from repro.relations import ir
@@ -41,6 +43,7 @@ from repro.relations.fixpoint import (
     eval_rule_body,
     execute_rule_plan,
 )
+from repro.relations.policy import ExecutionPolicy
 from repro.relations.parallel import ParallelExecutor
 
 __all__ = [
@@ -55,6 +58,7 @@ __all__ = [
     "BDDBackend",
     "DiagramBackend",
     "Domain",
+    "ExecutionPolicy",
     "FixpointEngine",
     "JeddError",
     "PhysicalDomain",
@@ -69,8 +73,10 @@ __all__ = [
     "ZDDBackend",
     "load_checkpoint",
     "load_tsv",
+    "load_universe",
     "open_universe",
     "save_checkpoint",
     "save_tsv",
+    "save_universe",
     "make_backend",
 ]

@@ -383,6 +383,37 @@ class Universe:
         return pd
 
     # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path, relations=None) -> int:
+        """Checkpoint this universe (and named relations) to ``path``.
+
+        ``relations`` maps names to :class:`Relation` values of this
+        universe; omit it to save the declarations alone.  The file is
+        self-contained — :meth:`Universe.load` rebuilds everything with
+        no prior declarations.  Returns the bytes written.  See
+        :func:`repro.relations.io.save_universe` for the format.
+        """
+        from repro.relations.io import save_universe
+
+        with open(path, "wb") as fp:
+            return save_universe(self, relations or {}, fp)
+
+    @staticmethod
+    def load(path):
+        """Restore a checkpoint written by :meth:`save`.
+
+        Returns ``(universe, relations)`` where ``relations`` is a dict
+        of the named relations the file carries.  Fails loudly on files
+        written by a newer, incompatible layout version.
+        """
+        from repro.relations.io import load_universe
+
+        with open(path, "rb") as fp:
+            return load_universe(fp)
+
+    # ------------------------------------------------------------------
     # Dynamic variable reordering
     # ------------------------------------------------------------------
 

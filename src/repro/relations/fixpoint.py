@@ -59,6 +59,37 @@ Telemetry: when a telemetry session is active, the engine emits
 (category ``"fixpoint"``) carrying the iteration number, per-relation
 delta sizes, and — through the tracer's kernel-counter delta source —
 the apply-cache and node-creation costs of each rule body.
+
+Incremental maintenance
+-----------------------
+
+After an initial :meth:`FixpointEngine.solve`, the engine is a
+*standing query*: :meth:`~FixpointEngine.insert` and
+:meth:`~FixpointEngine.retract` update the base facts (or seeds) and
+maintain every derived relation by DRed-style delete/rederive:
+
+1. **over-delete** — rule bodies are re-evaluated with one occurrence
+   bound to the retracted tuples (for facts appearing negated, to the
+   *inserted* tuples that newly block a derivation); anything a rule
+   could have derived through a lost tuple becomes a deletion
+   candidate, propagated per-rule-delta through the recursive relations
+   against the pre-update solution;
+2. **rederive** — each candidate that still has a derivation from the
+   surviving tuples (found by planning the rule body with the deleted
+   set as an extra, delta-anchored conjunct over the head variables) is
+   put back;
+3. **grow** — insertions (and rederivations, and derivations newly
+   unblocked by retractions from negated facts) seed the ordinary
+   semi-naive loop, which runs to the new fixed point.
+
+The result is bit-identical to a from-scratch :meth:`solve` over the
+updated facts, at a cost proportional to the changed tuples rather
+than the whole universe — the differential suite asserts the equality,
+``benchmarks/test_incremental.py`` the >=10x kernel-work reduction.
+Update phases emit ``incremental.update`` / ``incremental.overdelete``
+/ ``incremental.rederive`` / ``incremental.grow`` spans (category
+``"incremental"``), and the per-update counters land in the telemetry
+gauges as ``incremental.*``.
 """
 
 from __future__ import annotations
@@ -76,6 +107,7 @@ from typing import (
 
 from repro import telemetry as _telemetry
 from repro.relations.domain import JeddError, Universe
+from repro.relations.policy import ExecutionPolicy
 from repro.relations.ir.execute import (
     PlanReport,
     _schema_sig,
@@ -92,6 +124,7 @@ from repro.relations.relation import Relation
 
 __all__ = [
     "Atom",
+    "ExecutionPolicy",
     "Rule",
     "FixpointEngine",
     "eval_rule_body",
@@ -308,52 +341,75 @@ def eval_rule_body(
 class FixpointEngine:
     """Declare rules over relations; solve them semi-naively.
 
-    ``engine`` selects how each semi-naive round evaluates its rule
-    bodies: ``"seminaive"`` (default) runs them one after another in
-    this process; ``"parallel"`` dispatches them to ``workers`` worker
-    processes (:mod:`repro.relations.parallel`), each with its own
-    diagram manager, falling back to the serial path if the pool fails.
-    Both derive the identical fixed point.  ``task_timeout`` bounds how
-    long the coordinator waits without progress before declaring a
-    worker hung; ``fault_injection`` is the test hook shipped to the
-    workers (see ``repro.relations.parallel``).
+    ``policy`` (an :class:`~repro.relations.policy.ExecutionPolicy`, or
+    an engine-name shorthand string) selects how each semi-naive round
+    evaluates its rule bodies: ``"seminaive"`` (default) runs them one
+    after another in this process; ``"parallel"`` dispatches them to
+    ``policy.workers`` worker processes
+    (:mod:`repro.relations.parallel`), each with its own diagram
+    manager, falling back to the serial path if the pool fails.  Both
+    derive the identical fixed point.  ``policy.task_timeout`` bounds
+    how long the coordinator waits without progress before declaring a
+    worker hung; ``policy.fault_injection`` is the test hook shipped to
+    the workers (see ``repro.relations.parallel``).
 
-    ``optimize=False`` turns the query planner's conjunct reordering
-    and early quantification off — rule bodies evaluate strictly left
-    to right with all projection at the end, the baseline the
-    differential suite compares the planner against.
-    ``collect_plans=True`` records one :class:`PlanReport` per executed
-    rule body on :attr:`plan_reports` (estimated and actual per-step
-    costs — the shell's ``explain`` output).
+    ``policy.optimize=False`` turns the query planner's conjunct
+    reordering and early quantification off — rule bodies evaluate
+    strictly left to right with all projection at the end, the baseline
+    the differential suite compares the planner against.
+    ``policy.collect_plans=True`` records one :class:`PlanReport` per
+    executed rule body on :attr:`plan_reports` (estimated and actual
+    per-step costs — the shell's ``explain`` output).
+
+    The individual keyword arguments the policy replaced (``engine=``,
+    ``workers=``, ``task_timeout=``, ``fault_injection=``,
+    ``optimize=``, ``collect_plans=``) still work but are deprecated.
     """
 
     def __init__(
         self,
         universe: Universe,
-        engine: str = "seminaive",
+        policy: Optional["ExecutionPolicy | str"] = None,
+        *,
+        engine: Optional[str] = None,
         workers: Optional[int] = None,
         task_timeout: Optional[float] = None,
         fault_injection: Optional[dict] = None,
-        optimize: bool = True,
-        collect_plans: bool = False,
+        optimize: Optional[bool] = None,
+        collect_plans: Optional[bool] = None,
     ) -> None:
-        if engine not in ("seminaive", "parallel"):
+        policy = ExecutionPolicy.from_deprecated(
+            policy,
+            "FixpointEngine",
+            engine=engine,
+            workers=workers,
+            task_timeout=task_timeout,
+            fault_injection=fault_injection,
+            optimize=optimize,
+            collect_plans=collect_plans,
+        )
+        if policy.engine not in ("seminaive", "parallel"):
             raise JeddError(
-                f"unknown fixpoint engine {engine!r} "
+                f"unknown fixpoint engine {policy.engine!r} "
                 "(expected 'seminaive' or 'parallel')"
             )
         self.universe = universe
-        self.engine = engine
-        self.workers = workers
-        self.task_timeout = task_timeout
-        self.fault_injection = fault_injection
-        self.optimize = optimize
-        self._planner = Planner(optimize=optimize)
+        #: The resolved execution policy this engine runs under.
+        self.policy = policy
+        self.engine = policy.engine
+        self.workers = policy.workers
+        self.task_timeout = policy.task_timeout
+        self.fault_injection = (
+            dict(policy.fault_injection)
+            if policy.fault_injection is not None else None
+        )
+        self.optimize = policy.optimize
+        self._planner = Planner(optimize=policy.optimize)
         self._weight = default_weight(universe)
         self._memo: Optional[dict] = None
         #: Executed-plan reports of the last :meth:`solve` (only
         #: recorded when ``collect_plans`` is set).
-        self.collect_plans = collect_plans
+        self.collect_plans = policy.collect_plans
         self.plan_reports: List[PlanReport] = []
         self._facts: Dict[str, Relation] = {}
         self._seeds: Dict[str, Relation] = {}
@@ -363,6 +419,7 @@ class FixpointEngine:
         self._full: Dict[str, Relation] = {}
         self._delta: Dict[str, Relation] = {}
         self._executor = None
+        self._solved = False
         #: Number of semi-naive iterations of the last :meth:`solve`.
         self.iterations = 0
         #: Number of rule-body evaluations of the last :meth:`solve`.
@@ -370,6 +427,10 @@ class FixpointEngine:
         #: Executor counter snapshot of the last parallel :meth:`solve`
         #: (bytes shipped, retries, restarts, fallbacks...), else None.
         self.parallel_stats: Optional[dict] = None
+        #: Counter snapshot of the last :meth:`update` (deleted /
+        #: rederived / inserted tuple counts, phase iterations, kernel
+        #: work), else None.
+        self.last_update_stats: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Declarations
@@ -519,17 +580,24 @@ class FixpointEngine:
     def _neg_value(self, atom: Atom) -> Relation:
         return self._rename_to_vars(self._facts[atom.name], atom)
 
-    def _rule_plan(self, rule: Rule, delta_idx: Optional[int]) -> RulePlan:
+    def _rule_plan(
+        self,
+        rule: Rule,
+        delta_idx: Optional[int],
+        atom_value: Optional[Callable[[Atom, bool], Relation]] = None,
+    ) -> RulePlan:
         """The (cached) plan for one rule body with the given delta
         binding; estimates are taken from the current delta/full/fact
-        values, but only when the plan cache misses."""
+        values (or the supplied ``atom_value`` binding), but only when
+        the plan cache misses."""
         head_names = self._schema_of(rule.head.name).schema.names()
+        value = atom_value if atom_value is not None else self._atom_value
 
         def estimates() -> List[Estimate]:
             return [
                 Estimate(float(r.size()), float(r.node_count()))
                 for r in (
-                    self._atom_value(atom, delta_idx == i)
+                    value(atom, delta_idx == i)
                     for i, atom in enumerate(rule.positive)
                 )
             ]
@@ -650,6 +718,7 @@ class FixpointEngine:
                 self._executor = None
                 if tel.enabled:
                     tel.record_parallel(self.parallel_stats)
+        self._solved = True
         return dict(self._full)
 
     def _evaluate_rules_serial(self, tel, it: int) -> Dict[str, Relation]:
@@ -748,6 +817,363 @@ class FixpointEngine:
                         self._full[name] = scope.keep(
                             self._full[name] | fresh
                         )
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (DRed delete/rederive)
+    # ------------------------------------------------------------------
+
+    def _as_update_relation(self, name: str, value) -> Relation:
+        """Coerce an update argument (a relation or an iterable of
+        tuples) to a relation over ``name``'s declared schema."""
+        schema_rel = self._schema_of(name)
+        if isinstance(value, Relation):
+            return self._check_rel(name, value)
+        names = list(schema_rel.schema.names())
+        pds = [schema_rel.schema.physdom(n).name for n in names]
+        return Relation.from_tuples(self.universe, names, list(value), pds)
+
+    def _edb_get(self, name: str) -> Relation:
+        if name in self._seeds:
+            return self._seeds[name]
+        if name in self._facts:
+            return self._facts[name]
+        raise JeddError(f"unknown relation {name!r}")
+
+    def _edb_set(self, name: str, rel: Relation) -> None:
+        if name in self._seeds:
+            self._seeds[name] = rel
+        else:
+            self._facts[name] = rel
+
+    def _bound_eval(
+        self,
+        rule: Rule,
+        idx: int,
+        delta_rel: Relation,
+        fulls: Mapping[str, Relation],
+        facts: Mapping[str, Relation],
+        label: str = "",
+    ) -> Relation:
+        """One rule body with positive occurrence ``idx`` bound to
+        ``delta_rel`` and every other atom bound through the given
+        full/fact maps (negated atoms read ``facts`` too) — the shared
+        evaluator of the over-delete, rederive, and grow phases, which
+        differ only in which snapshot of the solution they bind."""
+
+        def atom_value(atom: Atom, use_delta: bool) -> Relation:
+            if use_delta:
+                return self._rename_to_vars(delta_rel, atom)
+            if atom.name in self._seeds:
+                rel = fulls[atom.name]
+            else:
+                rel = facts[atom.name]
+            return self._rename_to_vars(rel, atom)
+
+        def neg_value(atom: Atom) -> Relation:
+            return self._rename_to_vars(facts[atom.name], atom)
+
+        self.rule_evaluations += 1
+        return execute_rule_plan(
+            rule,
+            self._rule_plan(rule, idx, atom_value),
+            atom_value,
+            neg_value,
+            label=label or rule.label,
+            collect=self.plan_reports if self.collect_plans else None,
+            memo=self._memo,
+        )
+
+    def _neg_trigger_eval(
+        self,
+        rule: Rule,
+        neg_atom: Atom,
+        delta_rel: Relation,
+        fulls: Mapping[str, Relation],
+        facts: Mapping[str, Relation],
+        label: str = "",
+    ) -> Relation:
+        """Rule-body derivations whose *negated* atom ``neg_atom``
+        matches ``delta_rel``: the derivations killed when the negated
+        fact gains those tuples, or unblocked when it loses them.  The
+        trigger is planned as an extra delta-anchored positive conjunct
+        (its variables are all bound by the positive atoms), so the
+        cost scales with the changed tuples."""
+        extra = Atom(neg_atom.name, neg_atom.vars)
+        others = tuple(a for a in rule.negated if a is not neg_atom)
+        synth = Rule(rule.head, rule.positive + (extra,), others, ())
+        return self._bound_eval(
+            synth, len(rule.positive), delta_rel, fulls, facts,
+            label=label or f"~{neg_atom.name}:{rule.label}",
+        )
+
+    def _rederive_eval(self, rule: Rule, deleted: Relation) -> Relation:
+        """The subset of ``deleted`` head tuples this rule still
+        derives from the current (post-deletion) state: the body plus
+        the deleted set as a delta-anchored conjunct over the head
+        variables."""
+        extra = Atom(rule.head.name, rule.head.vars)
+        synth = Rule(rule.head, rule.positive + (extra,), rule.negated, ())
+        return self._bound_eval(
+            synth, len(rule.positive), deleted, self._full, self._facts,
+            label=f"rederive:{rule.label}",
+        )
+
+    def insert(self, name: str, facts) -> Dict[str, Relation]:
+        """Add tuples to a base fact (or seed) relation and maintain
+        every derived relation incrementally; ``facts`` is a relation
+        or an iterable of tuples in the declared attribute order.
+        Requires a prior :meth:`solve`."""
+        return self.update(inserts={name: facts})
+
+    def retract(self, name: str, facts) -> Dict[str, Relation]:
+        """Remove tuples from a base fact (or seed) relation and
+        maintain every derived relation via delete/rederive."""
+        return self.update(retracts={name: facts})
+
+    def update(
+        self,
+        inserts: Optional[Mapping[str, object]] = None,
+        retracts: Optional[Mapping[str, object]] = None,
+    ) -> Dict[str, Relation]:
+        """Apply one batch of base-fact insertions and retractions and
+        bring all derived relations to the fixed point of the updated
+        facts — bit-identical to a from-scratch :meth:`solve`.
+
+        Retractions apply before insertions (a tuple named in both ends
+        up present).  Updates always evaluate in-process, even for
+        ``engine="parallel"`` engines (the deltas are far too small to
+        amortize worker dispatch).  Returns the solution dict; phase
+        counters land in :attr:`last_update_stats`.
+        """
+        if not self._solved:
+            raise JeddError("update() requires an initial solve()")
+        tel = _telemetry.active()
+        mgr = self.universe.manager
+        kernel0 = 0.0
+        if mgr is not None:
+            kernel0 = mgr.stats.nodes_created + mgr.stats.op_totals()[1]
+        evals0 = self.rule_evaluations
+        old_facts = dict(self._facts)
+        old_full = dict(self._full)
+        delta_minus: Dict[str, Relation] = {}
+        delta_plus: Dict[str, Relation] = {}
+        for name, value in (retracts or {}).items():
+            rel = self._as_update_relation(name, value)
+            d = rel & self._edb_get(name)
+            if not d.is_empty():
+                delta_minus[name] = d
+                self._edb_set(name, self._edb_get(name) - d)
+        for name, value in (inserts or {}).items():
+            rel = self._as_update_relation(name, value)
+            d = rel - self._edb_get(name)
+            if not d.is_empty():
+                delta_plus[name] = d
+                self._edb_set(name, self._edb_get(name) | d)
+        stats: Dict[str, float] = {
+            "inserted_base": float(
+                sum(d.size() for d in delta_plus.values())
+            ),
+            "retracted_base": float(
+                sum(d.size() for d in delta_minus.values())
+            ),
+            "deleted": 0.0,
+            "rederived": 0.0,
+            "delete_iterations": 0.0,
+            "grow_iterations": 0.0,
+            "updates": 1.0,
+        }
+        self.last_update_stats = stats
+        if not delta_plus and not delta_minus:
+            stats["rule_evaluations"] = 0.0
+            stats["kernel_work"] = 0.0
+            return dict(self._full)
+        with tel.span(
+            "incremental.update",
+            cat="incremental",
+            inserted=int(stats["inserted_base"]),
+            retracted=int(stats["retracted_base"]),
+            relations=sorted(set(delta_plus) | set(delta_minus)),
+        ):
+            deleted = self._overdelete(
+                delta_plus, delta_minus, old_full, old_facts, tel, stats
+            )
+            for name, d in deleted.items():
+                if not d.is_empty():
+                    self._full[name] = self._full[name] - d
+            self._regrow(delta_plus, delta_minus, deleted, tel, stats)
+        stats["rule_evaluations"] = float(self.rule_evaluations - evals0)
+        if mgr is not None:
+            stats["kernel_work"] = (
+                mgr.stats.nodes_created + mgr.stats.op_totals()[1] - kernel0
+            )
+        if tel.enabled:
+            tel.record_parallel(stats, prefix="incremental")
+        return dict(self._full)
+
+    def _overdelete(
+        self,
+        delta_plus: Mapping[str, Relation],
+        delta_minus: Mapping[str, Relation],
+        old_full: Mapping[str, Relation],
+        old_facts: Mapping[str, Relation],
+        tel,
+        stats: Dict[str, float],
+    ) -> Dict[str, Relation]:
+        """DRed phase 1: everything that *might* have lost its last
+        derivation.  Direct kills come from retracted seed tuples,
+        retracted facts bound at each positive occurrence, and inserted
+        tuples of negated facts; kills then propagate per rule delta
+        through the recursive relations, always joining against the
+        pre-update solution (``old_full``/``old_facts``)."""
+        D = {n: self._empty_like(n) for n in self._order}
+        frontier = {n: self._empty_like(n) for n in self._order}
+        with tel.span("incremental.overdelete", cat="incremental"):
+            self._memo = {}
+            try:
+                for name, d in delta_minus.items():
+                    if name in self._seeds:
+                        frontier[name] = frontier[name] | (
+                            d & old_full[name]
+                        )
+                for rule in self._rules:
+                    head = rule.head.name
+                    for i, atom in enumerate(rule.positive):
+                        if atom.name in self._seeds:
+                            continue
+                        d = delta_minus.get(atom.name)
+                        if d is None:
+                            continue
+                        out = self._bound_eval(
+                            rule, i, d, old_full, old_facts,
+                            label=f"kill:{rule.label}",
+                        )
+                        frontier[head] = frontier[head] | (
+                            out & old_full[head]
+                        )
+                    for atom in rule.negated:
+                        d = delta_plus.get(atom.name)
+                        if d is None:
+                            continue
+                        out = self._neg_trigger_eval(
+                            rule, atom, d, old_full, old_facts,
+                            label=f"kill~{atom.name}:{rule.label}",
+                        )
+                        frontier[head] = frontier[head] | (
+                            out & old_full[head]
+                        )
+                while True:
+                    for n in self._order:
+                        frontier[n] = frontier[n] - D[n]
+                    if all(frontier[n].is_empty() for n in self._order):
+                        break
+                    stats["delete_iterations"] += 1.0
+                    for n in self._order:
+                        D[n] = D[n] | frontier[n]
+                    nxt = {n: self._empty_like(n) for n in self._order}
+                    for rule in self._rules:
+                        head = rule.head.name
+                        for pos in rule.recursive_positions:
+                            src = rule.positive[pos].name
+                            if frontier[src].is_empty():
+                                continue
+                            out = self._bound_eval(
+                                rule, pos, frontier[src],
+                                old_full, old_facts,
+                                label=f"kill+:{rule.label}",
+                            )
+                            nxt[head] = nxt[head] | (
+                                out & old_full[head]
+                            )
+                    frontier = nxt
+            finally:
+                self._memo = None
+        stats["deleted"] = float(sum(D[n].size() for n in self._order))
+        return D
+
+    def _regrow(
+        self,
+        delta_plus: Mapping[str, Relation],
+        delta_minus: Mapping[str, Relation],
+        deleted: Mapping[str, Relation],
+        tel,
+        stats: Dict[str, float],
+    ) -> None:
+        """DRed phases 2+3: rederive over-deleted tuples that survive
+        on the updated facts, then run the ordinary semi-naive loop
+        seeded with the rederivations, the insertions, and the
+        derivations newly unblocked by retractions from negated
+        facts."""
+        grown = {n: self._empty_like(n) for n in self._order}
+        with tel.span("incremental.rederive", cat="incremental"):
+            self._memo = {}
+            try:
+                for n in self._order:
+                    if deleted[n].is_empty():
+                        continue
+                    back = self._apply_filter(
+                        n, deleted[n] & self._seeds[n]
+                    )
+                    grown[n] = grown[n] | back
+                for rule in self._rules:
+                    head = rule.head.name
+                    if deleted[head].is_empty():
+                        continue
+                    out = self._rederive_eval(rule, deleted[head])
+                    grown[head] = grown[head] | self._apply_filter(
+                        head, out
+                    )
+            finally:
+                self._memo = None
+        stats["rederived"] = float(
+            sum((grown[n] & deleted[n]).size() for n in self._order)
+        )
+        with tel.span("incremental.grow", cat="incremental"):
+            self._memo = {}
+            try:
+                for name, d in delta_plus.items():
+                    if name in self._seeds:
+                        grown[name] = grown[name] | self._apply_filter(
+                            name, d
+                        )
+                for rule in self._rules:
+                    head = rule.head.name
+                    for i, atom in enumerate(rule.positive):
+                        if atom.name in self._seeds:
+                            continue
+                        d = delta_plus.get(atom.name)
+                        if d is None:
+                            continue
+                        out = self._bound_eval(
+                            rule, i, d, self._full, self._facts,
+                            label=f"grow:{rule.label}",
+                        )
+                        grown[head] = grown[head] | self._apply_filter(
+                            head, out
+                        )
+                    for atom in rule.negated:
+                        d = delta_minus.get(atom.name)
+                        if d is None:
+                            continue
+                        out = self._neg_trigger_eval(
+                            rule, atom, d, self._full, self._facts,
+                            label=f"grow~{atom.name}:{rule.label}",
+                        )
+                        grown[head] = grown[head] | self._apply_filter(
+                            head, out
+                        )
+            finally:
+                self._memo = None
+            for n in self._order:
+                fresh = grown[n] - self._full[n]
+                self._delta[n] = fresh
+                if not fresh.is_empty():
+                    self._full[n] = self._full[n] | fresh
+            while any(
+                not self._delta[n].is_empty() for n in self._order
+            ):
+                stats["grow_iterations"] += 1.0
+                self.iterations += 1
+                self._iterate(tel)
 
     def __getitem__(self, name: str) -> Relation:
         """The current value of a recursive relation or fact."""

@@ -1,17 +1,31 @@
 """Relation persistence: TSV tuples and raw diagram checkpoints.
 
-Two granularities, matching how analyses persist state:
+Three granularities, matching how analyses persist state:
 
 - :func:`save_tsv` / :func:`load_tsv` -- portable, human-readable tuple
   dumps (works across universes and backends; objects are strings);
 - :func:`save_checkpoint` / :func:`load_checkpoint` -- the raw decision
   diagram plus its schema, restored into the *same* universe layout
-  (the BuDDy ``bdd_save`` workflow for expensive intermediate results).
+  (the BuDDy ``bdd_save`` workflow for expensive intermediate results);
+- :func:`save_universe` / :func:`load_universe` -- a whole universe
+  (declarations, interned objects, bit order) together with any number
+  of named relations, restorable with nothing but the file.  This is
+  the checkpoint format of the analysis service
+  (:mod:`repro.service`); the friendly entry points are
+  :meth:`Universe.save` and :meth:`Universe.load`.
+
+The universe container is the ``JDDU`` format: magic, a version byte
+(``0x80 | UNIVERSE_VERSION`` — readers refuse versions they do not
+understand instead of guessing at the layout), a JSON header with the
+declarations, then one length-prefixed binary relation checkpoint per
+named relation (each itself carrying the versioned ``JDDB`` diagram
+encoding).
 """
 
 from __future__ import annotations
 
-from typing import BinaryIO, List, Optional, Sequence, TextIO
+import json
+from typing import BinaryIO, Dict, List, Mapping, Optional, Sequence, TextIO, Tuple
 
 from repro.bdd.io import (
     dumps_diagram,
@@ -29,7 +43,17 @@ __all__ = [
     "load_checkpoint",
     "save_checkpoint_binary",
     "load_checkpoint_binary",
+    "save_universe",
+    "load_universe",
+    "UNIVERSE_MAGIC",
+    "UNIVERSE_VERSION",
 ]
+
+#: Magic prefix of the universe container format.
+UNIVERSE_MAGIC = b"JDDU"
+
+#: Version of the universe container layout this build writes.
+UNIVERSE_VERSION = 1
 
 
 def save_tsv(relation: Relation, fp: TextIO) -> int:
@@ -131,3 +155,181 @@ def load_checkpoint_binary(universe: Universe, fp: BinaryIO) -> Relation:
     from repro.relations.relation import Schema
 
     return Relation(universe, Schema(pairs), node)
+
+
+# ----------------------------------------------------------------------
+# Universe container (JDDU)
+# ----------------------------------------------------------------------
+
+
+def _write_uvarint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_uvarint(data: bytes, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise JeddError("truncated universe checkpoint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise JeddError("oversized varint in universe checkpoint")
+
+
+def _check_json_objects(name: str, objects: List[object]) -> None:
+    for obj in objects:
+        if not isinstance(obj, (str, int, float, bool, type(None))):
+            raise JeddError(
+                f"domain {name!r} interns {type(obj).__name__} objects; "
+                "universe checkpoints only support JSON-scalar domain "
+                "objects (str, int, float, bool, None)"
+            )
+
+
+def save_universe(
+    universe: Universe,
+    relations: Mapping[str, Relation],
+    fp: BinaryIO,
+) -> int:
+    """Write a self-contained checkpoint of ``universe`` plus the named
+    ``relations`` to an open binary file; returns the bytes written.
+
+    Unlike the per-relation checkpoints, loading needs no pre-built
+    universe: declarations, interned domain objects, and the bit order
+    all travel in the file.  Domain objects must be JSON scalars.
+    """
+    if not universe.finalized:
+        raise JeddError("save_universe: finalize() the universe first")
+    for name, rel in relations.items():
+        if rel.universe is not universe:
+            raise JeddError(
+                f"save_universe: relation {name!r} belongs to a "
+                "different universe"
+            )
+    domains = []
+    for dom_name, dom in universe._domains.items():
+        objects = list(dom._to_obj)
+        _check_json_objects(dom_name, objects)
+        domains.append([dom_name, dom.max_size, objects])
+    # Scratch physical domains are appended after finalize() with their
+    # own level layout, so they replay through scratch_physdom() on load
+    # instead of being declared up front.
+    physdoms = []
+    scratch = []
+    for pd in universe._physdom_order:
+        if pd.name.startswith("__scratch"):
+            scratch.append([pd.name, pd.bits])
+        else:
+            physdoms.append([pd.name, pd.bits])
+    header = {
+        "backend": universe.backend_name,
+        "ordering": universe.ordering,
+        "kernel": universe.kernel_name,
+        "domains": domains,
+        "attributes": [
+            [a.name, a.domain.name]
+            for a in universe._attributes.values()
+        ],
+        "physdoms": physdoms,
+        "scratch": scratch,
+        "bit_order": universe._bit_order_groups,
+        "relations": list(relations),
+    }
+    out = bytearray(UNIVERSE_MAGIC)
+    out.append(0x80 | UNIVERSE_VERSION)
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    _write_uvarint(out, len(header_bytes))
+    out += header_bytes
+    import io as _io
+
+    for name, rel in relations.items():
+        buf = _io.BytesIO()
+        save_checkpoint_binary(rel, buf)
+        blob = buf.getvalue()
+        _write_uvarint(out, len(blob))
+        out += blob
+    fp.write(bytes(out))
+    return len(out)
+
+
+def load_universe(fp: BinaryIO) -> Tuple[Universe, Dict[str, Relation]]:
+    """Rebuild a universe (and its named relations) from a checkpoint
+    written by :func:`save_universe`.
+
+    Fails loudly on unknown magic and on container versions newer than
+    this reader (see ``UNIVERSE_VERSION``).
+    """
+    data = fp.read()
+    if len(data) < len(UNIVERSE_MAGIC) + 1:
+        raise JeddError("truncated universe checkpoint")
+    if data[: len(UNIVERSE_MAGIC)] != UNIVERSE_MAGIC:
+        raise JeddError("bad universe checkpoint magic")
+    version_byte = data[len(UNIVERSE_MAGIC)]
+    if not version_byte & 0x80:
+        raise JeddError("bad universe checkpoint version byte")
+    version = version_byte & 0x7F
+    if version > UNIVERSE_VERSION:
+        raise JeddError(
+            f"universe checkpoint has version {version}, this reader "
+            f"understands up to {UNIVERSE_VERSION} "
+            "(refusing to guess at the layout)"
+        )
+    pos = len(UNIVERSE_MAGIC) + 1
+    header_len, pos = _read_uvarint(data, pos)
+    if pos + header_len > len(data):
+        raise JeddError("truncated universe checkpoint header")
+    try:
+        header = json.loads(data[pos : pos + header_len].decode("utf-8"))
+    except ValueError as err:
+        raise JeddError(f"bad universe checkpoint header: {err}") from None
+    pos += header_len
+    universe = Universe(
+        backend=header["backend"],
+        ordering=header["ordering"],
+        kernel=header["kernel"],
+    )
+    for dom_name, max_size, objects in header["domains"]:
+        dom = universe.domain(dom_name, max_size)
+        for obj in objects:
+            dom.intern(obj)
+    for attr_name, dom_name in header["attributes"]:
+        universe.attribute(attr_name, universe.get_domain(dom_name))
+    for pd_name, bits in header["physdoms"]:
+        universe.physical_domain(pd_name, bits)
+    if header.get("bit_order"):
+        universe.set_bit_order(header["bit_order"])
+    universe.finalize()
+    for pd_name, bits in header.get("scratch", []):
+        pd = universe.scratch_physdom(bits)
+        if pd.name != pd_name:
+            raise JeddError(
+                f"universe checkpoint scratch domain {pd_name!r} "
+                f"replayed as {pd.name!r}"
+            )
+    import io as _io
+
+    relations: Dict[str, Relation] = {}
+    for name in header["relations"]:
+        blob_len, pos = _read_uvarint(data, pos)
+        if pos + blob_len > len(data):
+            raise JeddError(
+                f"truncated universe checkpoint relation {name!r}"
+            )
+        relations[name] = load_checkpoint_binary(
+            universe, _io.BytesIO(data[pos : pos + blob_len])
+        )
+        pos += blob_len
+    return universe, relations

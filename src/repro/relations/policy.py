@@ -1,0 +1,147 @@
+"""ExecutionPolicy: one value describing *how* a solve should run.
+
+The solve entry points had grown a parallel set of keyword arguments —
+``engine=``, ``workers=``, ``task_timeout=``, ``fault_injection=``,
+``optimize=``, ``collect_plans=`` — repeated on
+:class:`~repro.relations.fixpoint.FixpointEngine` and all four
+analyses, and threaded through the demo's command line.  This module
+replaces the sprawl with a single frozen dataclass accepted
+everywhere::
+
+    from repro.relations import ExecutionPolicy, FixpointEngine
+
+    policy = ExecutionPolicy(engine="parallel", workers=4)
+    eng = FixpointEngine(universe, policy)
+    pta = PointsTo(au, policy=policy)
+
+Every accepting call site also takes a plain engine name as shorthand
+(``policy="naive"`` means ``ExecutionPolicy(engine="naive")``).  The
+old keyword arguments still work but emit a :class:`DeprecationWarning`
+and will be removed; see the migration table in ``docs/FIXPOINT.md``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, fields, replace
+from typing import Mapping, Optional, Union
+
+__all__ = ["ExecutionPolicy", "POLICY_ENGINES"]
+
+#: Engine names an :class:`ExecutionPolicy` accepts.  ``"naive"`` is
+#: only meaningful to the analyses (their original whole-relation
+#: loops, kept for differential testing); the fixpoint engine itself
+#: rejects it.
+POLICY_ENGINES = ("seminaive", "parallel", "naive")
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How rule bodies are evaluated: engine, parallelism, planning.
+
+    Fields map one-to-one onto the keyword arguments they replace:
+
+    - ``engine`` — ``"seminaive"`` (default), ``"parallel"``, or (for
+      the analyses only) ``"naive"``;
+    - ``workers`` — worker-process count for the parallel engine;
+    - ``task_timeout`` — seconds without progress before the parallel
+      coordinator declares a worker hung;
+    - ``fault_injection`` — test hook shipped to parallel workers;
+    - ``optimize`` — let the query planner reorder conjuncts (pass
+      False for the source-order baseline);
+    - ``collect_plans`` — record one ``PlanReport`` per executed rule
+      body.
+
+    Instances are frozen (hashable, safely shared across engines and
+    sessions); derive variants with :meth:`with_options`.
+    """
+
+    engine: str = "seminaive"
+    workers: Optional[int] = None
+    task_timeout: Optional[float] = None
+    fault_injection: Optional[Mapping] = field(default=None, hash=False)
+    optimize: bool = True
+    collect_plans: bool = False
+
+    def __post_init__(self) -> None:
+        from repro.relations.domain import JeddError
+
+        if self.engine not in POLICY_ENGINES:
+            raise JeddError(
+                f"unknown engine {self.engine!r} "
+                f"(expected one of {', '.join(POLICY_ENGINES)})"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise JeddError("workers must be a positive integer")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def of(
+        cls, value: Union["ExecutionPolicy", str, None]
+    ) -> "ExecutionPolicy":
+        """Coerce ``value`` to a policy: an existing policy passes
+        through, a string is an engine-name shorthand, None is the
+        default policy."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(engine=value)
+        from repro.relations.domain import JeddError
+
+        raise JeddError(
+            f"cannot interpret {value!r} as an ExecutionPolicy "
+            "(expected a policy, an engine name, or None)"
+        )
+
+    def with_options(self, **changes: object) -> "ExecutionPolicy":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    @classmethod
+    def from_deprecated(
+        cls,
+        policy: Union["ExecutionPolicy", str, None],
+        owner: str,
+        **legacy: object,
+    ) -> "ExecutionPolicy":
+        """Fold deprecated per-kwarg spellings into one policy.
+
+        ``legacy`` maps field name -> the value the caller passed (None
+        meaning "not given").  Any non-None legacy value emits a
+        :class:`DeprecationWarning` naming ``owner`` and overrides the
+        corresponding policy field — the old kwargs win so existing
+        call sites keep their exact behaviour during migration.
+        """
+        supplied = {k: v for k, v in legacy.items() if v is not None}
+        if supplied:
+            names = ", ".join(f"{k}=" for k in sorted(supplied))
+            warnings.warn(
+                f"{owner}: the {names} keyword argument(s) are "
+                "deprecated; pass an ExecutionPolicy instead "
+                "(see docs/FIXPOINT.md)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        base = cls.of(policy)
+        valid = {f.name for f in fields(cls)}
+        unknown = set(supplied) - valid
+        if unknown:
+            from repro.relations.domain import JeddError
+
+            raise JeddError(
+                f"{owner}: unknown execution options {sorted(unknown)}"
+            )
+        return replace(base, **supplied) if supplied else base
+
+    def __str__(self) -> str:
+        parts = [self.engine]
+        if self.workers is not None:
+            parts.append(f"x{self.workers}")
+        if not self.optimize:
+            parts.append("unoptimized")
+        return " ".join(parts)

@@ -457,6 +457,29 @@ class Relation:
             Relation.profiler.record_replace(self, perm)
         return self._wrap(Schema(new_pairs), node)
 
+    def ordered(self, names: Sequence[str]) -> "Relation":
+        """The same relation with its schema columns in ``names`` order.
+
+        Pure metadata: the diagram encodes attributes by physical
+        domain, so column order only affects how :meth:`tuples`
+        enumerates — but an assignment target declared ``<a, b, c>``
+        must list tuples as ``(a, b, c)`` no matter which join order
+        the planner picked for the right-hand side.  ``names`` must be
+        exactly this relation's attribute names.
+        """
+        current = [attr.name for attr, _ in self.schema.pairs]
+        names = list(names)
+        if names == current:
+            return self
+        if sorted(names) != sorted(current):
+            raise JeddError(
+                f"ordered: {names} is not a permutation of {current}"
+            )
+        by_name = {attr.name: (attr, pd) for attr, pd in self.schema.pairs}
+        return self._wrap(
+            Schema([by_name[n] for n in names]), self.node
+        )
+
     def _align_to(self, other: "Relation") -> "Relation":
         """Return ``other`` moved into this relation's physical domains."""
         targets = {

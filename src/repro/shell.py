@@ -67,6 +67,11 @@ class RelationalShell(cmd.Cmd):
         #: the query planner all shell expressions evaluate through;
         #: reset on `finalize` (plans are per-universe).
         self._planner = ir.Planner()
+        #: background analysis service started by `serve`, if any.
+        self._service = None
+        #: client connection opened by `connect`, if any.
+        self._remote = None
+        self._remote_universe = "default"
 
     # -- helpers -----------------------------------------------------------
 
@@ -87,6 +92,14 @@ class RelationalShell(cmd.Cmd):
         return self._pending
 
     def onecmd(self, line: str) -> bool:
+        # Every command accepts the colon-prefixed spelling (":stats",
+        # ":fix path |= ...") familiar from other REPLs.  Stripping the
+        # prefix *here* — before cmd.Cmd dispatches — makes the rule
+        # uniform instead of per-command: `:x` and `x` are the same
+        # command for every x, including `help` and future additions.
+        stripped = line.lstrip()
+        if stripped.startswith(":") and not stripped.startswith("::"):
+            line = stripped[1:]
         try:
             return super().onecmd(line)
         except (_ShellError, JeddError, ParseError, LexError) as err:
@@ -94,12 +107,22 @@ class RelationalShell(cmd.Cmd):
             return False
 
     def default(self, line: str) -> bool:
-        # Accept the colon-prefixed spellings (":stats", ":trace FILE",
-        # ":telemetry on") familiar from other REPLs.
-        if line.startswith(":"):
-            return self.onecmd(line[1:])
         self._fail(f"unknown command {line.split()[0]!r} (try `help`)")
         return False
+
+    @classmethod
+    def command_names(cls) -> List[str]:
+        """All command words the shell dispatches (the ``do_*`` table).
+
+        Every one of these accepts both the bare and the ``:``-prefixed
+        spelling; the table-driven spelling test iterates this list so a
+        newly added command cannot regress the rule.
+        """
+        return sorted(
+            name[len("do_"):]
+            for name in dir(cls)
+            if name.startswith("do_") and name != "do_EOF"
+        )
 
     # -- declaration commands ------------------------------------------------
 
@@ -349,6 +372,100 @@ class RelationalShell(cmd.Cmd):
                 f"{rel.node_count()} nodes"
             )
 
+    # -- persistence and service commands -------------------------------------
+
+    def do_save(self, arg: str) -> None:
+        """save FILE -- checkpoint the universe and all named relations
+        to a self-contained file (see docs/SERVICE.md for the format)."""
+        path = arg.strip()
+        if not path:
+            raise _ShellError("usage: save FILE")
+        u = self._need_finalized()
+        try:
+            count = u.save(path, self.relations)
+        except OSError as err:
+            raise _ShellError(f"cannot save {path}: {err}") from None
+        self._say(
+            f"saved {len(self.relations)} relation(s), {count} bytes"
+        )
+
+    def do_load(self, arg: str) -> None:
+        """load FILE -- restore a universe checkpoint written by `save`
+        (replaces the current universe and relations)."""
+        path = arg.strip()
+        if not path:
+            raise _ShellError("usage: load FILE")
+        try:
+            universe, relations = Universe.load(path)
+        except OSError as err:
+            raise _ShellError(f"cannot load {path}: {err}") from None
+        self.universe = universe
+        self.backend = universe.backend_name
+        self.relations = relations
+        self._planner = ir.Planner()
+        if telemetry.is_enabled():
+            telemetry.active().instrument_universe(universe)
+        self._say(
+            f"loaded {len(relations)} relation(s); universe ready: "
+            f"{universe.manager.num_vars} diagram variables"
+        )
+
+    def do_serve(self, arg: str) -> None:
+        """serve [PORT] -- start the analysis service in the background
+        (`python -m repro.service` runs it in the foreground)."""
+        from repro.service import start_in_thread
+
+        if self._service is not None:
+            raise _ShellError("service already running (quit to stop)")
+        spec = arg.strip()
+        if spec and not spec.isdigit():
+            raise _ShellError("usage: serve [PORT]")
+        handle = start_in_thread(port=int(spec) if spec else 0)
+        self._service = handle
+        self._say(f"serving on {handle.host}:{handle.port}")
+
+    def do_connect(self, arg: str) -> None:
+        """connect HOST:PORT [UNIVERSE] -- attach to a running service;
+        `remote LINE` then runs shell commands there."""
+        from repro.service import ServiceClient
+
+        parts = arg.split()
+        if not parts or ":" not in parts[0] or len(parts) > 2:
+            raise _ShellError("usage: connect HOST:PORT [UNIVERSE]")
+        host, _, port = parts[0].rpartition(":")
+        if not port.isdigit():
+            raise _ShellError("usage: connect HOST:PORT [UNIVERSE]")
+        if self._remote is not None:
+            self._remote.close()
+        self._remote = ServiceClient(host, int(port))
+        self._remote_universe = parts[1] if len(parts) == 2 else "default"
+        info = self._remote.open(self._remote_universe)
+        self._say(
+            f"connected to {parts[0]}, universe "
+            f"{self._remote_universe!r} "
+            f"({'new' if info['created'] else 'existing'})"
+        )
+
+    def do_disconnect(self, arg: str) -> None:
+        """disconnect -- drop the `connect`-ed service session."""
+        if self._remote is None:
+            raise _ShellError("not connected")
+        self._remote.close()
+        self._remote = None
+        self._say("disconnected")
+
+    def do_remote(self, arg: str) -> None:
+        """remote LINE -- run one shell command on the connected
+        service's universe and print its output."""
+        if self._remote is None:
+            raise _ShellError("run `connect HOST:PORT` first")
+        if not arg.strip():
+            raise _ShellError("usage: remote LINE")
+        output = self._remote.shell(self._remote_universe, arg)
+        if output:
+            for piece in output.rstrip("\n").split("\n"):
+                self._say(piece)
+
     # -- telemetry commands ----------------------------------------------------
 
     def do_telemetry(self, arg: str) -> None:
@@ -448,7 +565,13 @@ class RelationalShell(cmd.Cmd):
         self._say(f"wrote metrics exposition to {path} (+ {path}.json)")
 
     def do_quit(self, arg: str) -> bool:
-        """quit -- leave the shell."""
+        """quit -- leave the shell (stops `serve`, drops `connect`)."""
+        if self._remote is not None:
+            self._remote.close()
+            self._remote = None
+        if self._service is not None:
+            self._service.stop()
+            self._service = None
         return True
 
     do_exit = do_quit

@@ -22,6 +22,7 @@ from repro.analyses import (
     VirtualCallResolver,
     preset,
 )
+from repro.relations import ExecutionPolicy
 from repro.bdd.io import dumps_diagram_binary
 
 WATCHDOG_SECONDS = 300
@@ -78,8 +79,8 @@ class TestPointsToArena:
     @pytest.mark.parametrize(("engine", "kw"), ENGINES, ids=ENGINE_IDS)
     def test_bit_identical(self, setup, engine, kw):
         _, au_ref, au_arena = setup
-        ref = PointsTo(au_ref, engine="seminaive")
-        arena = PointsTo(au_arena, engine=engine, **kw)
+        ref = PointsTo(au_ref, policy="seminaive")
+        arena = PointsTo(au_arena, policy=ExecutionPolicy(engine=engine, **kw))
         pt_ref = ref.solve()
         pt_arena = arena.solve()
         assert_same_relation(au_ref, pt_ref, au_arena, pt_arena, "var", "obj")
@@ -89,8 +90,8 @@ class TestPointsToArena:
 
     def test_type_filter_variant(self, setup):
         _, au_ref, au_arena = setup
-        ref = PointsTo(au_ref, type_filter=True, engine="seminaive")
-        arena = PointsTo(au_arena, type_filter=True, engine="seminaive")
+        ref = PointsTo(au_ref, type_filter=True, policy="seminaive")
+        arena = PointsTo(au_arena, type_filter=True, policy="seminaive")
         assert_same_relation(
             au_ref, ref.solve(), au_arena, arena.solve(), "var", "obj"
         )
@@ -104,10 +105,10 @@ class TestVirtualCallArena:
         cols = ("rectype", "signature", "tgttype", "method")
         rel_ref = au_ref.rel(["rectype", "signature"], recv, ["T1", "S1"])
         rel_arena = au_arena.rel(["rectype", "signature"], recv, ["T1", "S1"])
-        res_ref = VirtualCallResolver(au_ref, engine="seminaive").resolve(
+        res_ref = VirtualCallResolver(au_ref, policy="seminaive").resolve(
             rel_ref
         )
-        res_arena = VirtualCallResolver(au_arena, engine=engine, **kw).resolve(
+        res_arena = VirtualCallResolver(au_arena, policy=ExecutionPolicy(engine=engine, **kw)).resolve(
             rel_arena
         )
         assert_same_relation(au_ref, res_ref, au_arena, res_arena, *cols)
@@ -117,10 +118,10 @@ class TestCallGraphArena:
     @pytest.mark.parametrize(("engine", "kw"), ENGINES, ids=ENGINE_IDS)
     def test_edges_and_reachability(self, setup, engine, kw):
         facts, au_ref, au_arena = setup
-        pt_ref = PointsTo(au_ref, engine="seminaive").solve()
-        pt_arena = PointsTo(au_arena, engine="seminaive").solve()
-        cg_ref = CallGraph(au_ref, pt_ref, engine="seminaive")
-        cg_arena = CallGraph(au_arena, pt_arena, engine=engine, **kw)
+        pt_ref = PointsTo(au_ref, policy="seminaive").solve()
+        pt_arena = PointsTo(au_arena, policy="seminaive").solve()
+        cg_ref = CallGraph(au_ref, pt_ref, policy="seminaive")
+        cg_arena = CallGraph(au_arena, pt_arena, policy=ExecutionPolicy(engine=engine, **kw))
         edges_ref = cg_ref.build()
         edges_arena = cg_arena.build()
         assert_same_relation(
@@ -142,13 +143,13 @@ class TestSideEffectsArena:
     @pytest.mark.parametrize(("engine", "kw"), ENGINES, ids=ENGINE_IDS)
     def test_reads_writes(self, setup, engine, kw):
         _, au_ref, au_arena = setup
-        pt_ref = PointsTo(au_ref, engine="seminaive").solve()
-        pt_arena = PointsTo(au_arena, engine="seminaive").solve()
-        edges_ref = CallGraph(au_ref, pt_ref, engine="seminaive").build()
-        edges_arena = CallGraph(au_arena, pt_arena, engine="seminaive").build()
-        se_ref = SideEffects(au_ref, pt_ref, edges_ref, engine="seminaive")
+        pt_ref = PointsTo(au_ref, policy="seminaive").solve()
+        pt_arena = PointsTo(au_arena, policy="seminaive").solve()
+        edges_ref = CallGraph(au_ref, pt_ref, policy="seminaive").build()
+        edges_arena = CallGraph(au_arena, pt_arena, policy="seminaive").build()
+        se_ref = SideEffects(au_ref, pt_ref, edges_ref, policy="seminaive")
         se_arena = SideEffects(
-            au_arena, pt_arena, edges_arena, engine=engine, **kw
+            au_arena, pt_arena, edges_arena, policy=ExecutionPolicy(engine=engine, **kw)
         )
         reads_ref, writes_ref = se_ref.solve()
         reads_arena, writes_arena = se_arena.solve()

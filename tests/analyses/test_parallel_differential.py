@@ -21,6 +21,7 @@ from repro.analyses import (
     naive_side_effects,
     preset,
 )
+from repro.relations import ExecutionPolicy
 
 WATCHDOG_SECONDS = 300
 
@@ -63,8 +64,8 @@ class TestPointsToParallel:
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
     def test_parallel_equals_serial_naive_and_oracle(self, setup, workers):
         facts, au = setup
-        sn = PointsTo(au, engine="seminaive")
-        pl = PointsTo(au, engine="parallel", workers=workers)
+        sn = PointsTo(au, policy="seminaive")
+        pl = PointsTo(au, policy=ExecutionPolicy(engine="parallel", workers=workers))
         pt_sn = sn.solve()
         pt_pl = pl.solve()
         # Same universe, same declared physdoms: == compares the
@@ -72,7 +73,7 @@ class TestPointsToParallel:
         assert pt_pl == pt_sn
         assert pl.hpt == sn.hpt
         assert not pl.fixpoint.parallel_stats["broken"]
-        nv = PointsTo(au, engine="naive")
+        nv = PointsTo(au, policy="naive")
         assert by_names(pt_pl, "var", "obj") == by_names(
             nv.solve(), "var", "obj"
         )
@@ -82,8 +83,8 @@ class TestPointsToParallel:
 
     def test_type_filter_variant(self, setup):
         facts, au = setup
-        sn = PointsTo(au, type_filter=True, engine="seminaive")
-        pl = PointsTo(au, type_filter=True, engine="parallel", workers=2)
+        sn = PointsTo(au, type_filter=True, policy="seminaive")
+        pl = PointsTo(au, type_filter=True, policy=ExecutionPolicy(engine="parallel", workers=2))
         assert pl.solve() == sn.solve()
         opt, _ = naive_points_to(facts, type_filter=True)
         assert by_names(pl.pt, "var", "obj") == opt
@@ -97,9 +98,9 @@ class TestVirtualCallParallel:
             (c, s) for c in facts.classes for s in facts.signatures[:4]
         }
         rel = au.rel(["rectype", "signature"], recv, ["T1", "S1"])
-        sn = VirtualCallResolver(au, engine="seminaive").resolve(rel)
+        sn = VirtualCallResolver(au, policy="seminaive").resolve(rel)
         pl = VirtualCallResolver(
-            au, engine="parallel", workers=workers
+            au, policy=ExecutionPolicy(engine="parallel", workers=workers)
         ).resolve(rel)
         assert pl == sn
         cols = ("rectype", "signature", "tgttype", "method")
@@ -110,9 +111,9 @@ class TestCallGraphParallel:
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
     def test_edges_and_reachability(self, setup, workers):
         facts, au = setup
-        pt = PointsTo(au, engine="seminaive").solve()
-        sn = CallGraph(au, pt, engine="seminaive")
-        pl = CallGraph(au, pt, engine="parallel", workers=workers)
+        pt = PointsTo(au, policy="seminaive").solve()
+        sn = CallGraph(au, pt, policy="seminaive")
+        pl = CallGraph(au, pt, policy=ExecutionPolicy(engine="parallel", workers=workers))
         edges_sn = sn.build()
         edges_pl = pl.build()
         assert edges_pl == edges_sn
@@ -131,10 +132,10 @@ class TestSideEffectsParallel:
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
     def test_reads_writes(self, setup, workers):
         facts, au = setup
-        pt = PointsTo(au, engine="seminaive").solve()
-        edges = CallGraph(au, pt, engine="seminaive").build()
-        sn = SideEffects(au, pt, edges, engine="seminaive")
-        pl = SideEffects(au, pt, edges, engine="parallel", workers=workers)
+        pt = PointsTo(au, policy="seminaive").solve()
+        edges = CallGraph(au, pt, policy="seminaive").build()
+        sn = SideEffects(au, pt, edges, policy="seminaive")
+        pl = SideEffects(au, pt, edges, policy=ExecutionPolicy(engine="parallel", workers=workers))
         reads_sn, writes_sn = sn.solve()
         reads_pl, writes_pl = pl.solve()
         assert reads_pl == reads_sn

@@ -277,3 +277,50 @@ class TestRecursion:
         it.call("walk", it.relation_of(["rectype"], [("D",)]))
         got = {t[0] for t in it.global_relation("visited").tuples()}
         assert got == {"D", "C", "B", "A"}
+
+
+class TestDeclaredColumnOrder:
+    """The planner may join in any order it likes, but an assignment
+    target declared ``<a, b, c>`` must enumerate tuples as (a, b, c).
+
+    Regression: with operand physical domains arranged so the planner
+    preferred the right operand as the pipeline base, the join result's
+    schema kept the base-first column order, and ``tuples()`` listed
+    (b, c, a) triples under an (a, b, c) declaration."""
+
+    SRC = (
+        "domain D 16;\n"
+        "attribute a : D;\n"
+        "attribute b : D;\n"
+        "attribute c : D;\n"
+        "physdom P1 4;\n"
+        "physdom P2 4;\n"
+        "physdom P3 4;\n"
+        "<a:P1, b:P2> r = 0B;\n"
+        "<b:P3, c:P2> w = 0B;\n"
+        "<a:P1, b:P3, c:P2> u = 0B;\n"
+        "def f() {\n"
+        '  r |= new { "o0" => a, "o0" => b };\n'
+        '  r |= new { "o0" => a, "o1" => b };\n'
+        '  w |= new { "o0" => b, "o1" => c };\n'
+        "  u = r{b} >< w{b};\n"
+        "}\n"
+    )
+    EXPECTED = {("o0", "o0", "o1")}
+
+    @pytest.mark.parametrize("backend", ["bdd", "zdd"])
+    def test_interpreter_orders_by_declaration(self, backend):
+        it = compile_source(self.SRC).interpreter(backend=backend)
+        it.call("f")
+        u = it.global_relation("u")
+        assert [a for a in u.schema.names()] == ["a", "b", "c"]
+        assert set(u.tuples()) == self.EXPECTED
+
+    def test_generated_code_orders_by_declaration(self):
+        from tests.jedd.test_codegen import load_generated
+
+        prog, _ = load_generated(compile_source(self.SRC))
+        prog.f()
+        u = prog.u.get()
+        assert [a for a in u.schema.names()] == ["a", "b", "c"]
+        assert set(u.tuples()) == self.EXPECTED

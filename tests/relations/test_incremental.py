@@ -1,0 +1,316 @@
+"""DRed incremental maintenance on the standing fixpoint engine.
+
+Every scenario checks the maintained result *bit-identical* (same
+binary wire encoding, hence the same canonical diagram) against a cold
+from-scratch solve of the updated fact base, on both diagram backends —
+the retraction edge cases called out in the issue get their own tests:
+over-deletion followed by rederivation through an alternate rule,
+retraction of a fact that is also derivable, updates under stratified
+negation, and interleaved insert/retract streams.
+"""
+
+import pytest
+
+from repro.bdd.io import dumps_diagram_binary
+from repro.relations import (
+    FixpointEngine,
+    JeddError,
+    Relation,
+    open_universe,
+)
+
+BACKENDS = ["bdd", "zdd"]
+
+CHAIN = [("a", "b"), ("b", "c"), ("c", "d")]
+
+
+def make_universe(backend):
+    u = open_universe(
+        backend,
+        "interleaved",
+        domains={"N": 32},
+        attributes={"src": "N", "dst": "N", "mid": "N"},
+        physdoms={"N1": 5, "N2": 5},
+    )
+    # Pin the object->integer interning so every engine built here
+    # encodes the same object as the same integer — wire-identical
+    # comparisons then compare diagram *content*, not interning order.
+    for obj in "abcdefgh":
+        u.get_domain("N").intern(obj)
+    return u
+
+
+def tc_engine(backend, edges, shortcuts=None, blocked=None):
+    """Transitive closure with optional alternate-rule and negation
+    structure: ``path`` derives from ``edge`` (and ``shortcut`` when
+    given), guarded by ``!blocked(src)`` when ``blocked`` is given."""
+    u = make_universe(backend)
+    eng = FixpointEngine(u)
+    eng.fact("edge", Relation.from_tuples(
+        u, ["src", "dst"], list(edges), ["N1", "N2"]
+    ))
+    guard = []
+    if blocked is not None:
+        eng.fact("blocked", Relation.from_tuples(
+            u, ["src"], [(b,) for b in blocked], ["N1"]
+        ))
+        guard = [("!blocked", ("src",))]
+    if shortcuts is not None:
+        eng.fact("shortcut", Relation.from_tuples(
+            u, ["src", "dst"], list(shortcuts), ["N1", "N2"]
+        ))
+    eng.relation("path", Relation.empty(u, ["src", "dst"], ["N1", "N2"]))
+    eng.rule("path", ["src", "dst"], [("edge", ("src", "dst"))] + guard)
+    if shortcuts is not None:
+        eng.rule(
+            "path", ["src", "dst"], [("shortcut", ("src", "dst"))] + guard
+        )
+    eng.rule("path", ["src", "dst"], [
+        ("edge", ("src", "mid")),
+        ("path", {"src": "mid", "dst": "dst"}),
+    ] + guard)
+    return u, eng
+
+
+def wire(rel):
+    return dumps_diagram_binary(rel.universe.manager, rel.node)
+
+
+def assert_matches_cold(backend, engine, edges, shortcuts=None,
+                        blocked=None):
+    """The warm engine's ``path`` must be wire-identical to a cold solve
+    of the same (post-update) fact base."""
+    _, cold = tc_engine(backend, edges, shortcuts, blocked)
+    cold_path = cold.solve()["path"]
+    warm_path = engine["path"]
+    assert set(warm_path.tuples()) == set(cold_path.tuples())
+    assert wire(warm_path) == wire(cold_path)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestInsert:
+    def test_insert_closes_cycle(self, backend):
+        _, eng = tc_engine(backend, CHAIN)
+        eng.solve()
+        eng.insert("edge", [("d", "a")])
+        assert_matches_cold(backend, eng, CHAIN + [("d", "a")])
+        assert eng["path"].size() == 16
+
+    def test_insert_is_incremental_not_restart(self, backend):
+        _, eng = tc_engine(backend, CHAIN)
+        eng.solve()
+        evals_before = eng.rule_evaluations
+        eng.insert("edge", [("x", "y")])
+        stats = eng.last_update_stats
+        assert stats["inserted_base"] == 1.0
+        assert stats["deleted"] == 0.0
+        assert eng.rule_evaluations > evals_before
+
+    def test_insert_existing_fact_is_noop(self, backend):
+        _, eng = tc_engine(backend, CHAIN)
+        before = wire(eng.solve()["path"])
+        eng.insert("edge", [("a", "b")])
+        assert wire(eng["path"]) == before
+        assert eng.last_update_stats["inserted_base"] == 0.0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestRetract:
+    def test_retract_splits_chain(self, backend):
+        _, eng = tc_engine(backend, CHAIN)
+        eng.solve()
+        eng.retract("edge", [("b", "c")])
+        assert_matches_cold(backend, eng, [("a", "b"), ("c", "d")])
+
+    def test_rederivation_through_alternate_rule(self, backend):
+        # (b, c) is derivable through *two* rules: the edge base case
+        # and the shortcut base case.  Retracting the edge over-deletes
+        # everything downstream of (b, c); rederivation must restore it
+        # all from the surviving shortcut support.
+        shortcuts = [("b", "c")]
+        _, eng = tc_engine(backend, CHAIN, shortcuts=shortcuts)
+        eng.solve()
+        eng.retract("edge", [("b", "c")])
+        assert_matches_cold(
+            backend, eng, [("a", "b"), ("c", "d")], shortcuts=shortcuts
+        )
+        stats = eng.last_update_stats
+        assert stats["deleted"] > 0
+        assert stats["rederived"] > 0
+        # (b, c) itself survives — rederived from the shortcut support —
+        # while the tuples that composed through the *edge* (b, c)
+        # correctly stay deleted.
+        got = {tuple(t) for t in eng["path"].tuples()}
+        assert ("b", "c") in got
+        assert ("a", "d") not in got
+
+    def test_retract_fact_that_is_also_derivable(self, backend):
+        # (a, c) is both a base edge and derivable from (a,b), (b,c).
+        # Retracting the base fact must keep the tuple (it is still a
+        # consequence) while matching the cold solve exactly.
+        edges = CHAIN + [("a", "c")]
+        _, eng = tc_engine(backend, edges)
+        eng.solve()
+        eng.retract("edge", [("a", "c")])
+        assert_matches_cold(backend, eng, CHAIN)
+        got = {tuple(t) for t in eng["path"].tuples()}
+        assert ("a", "c") in got
+
+    def test_retract_absent_fact_is_noop(self, backend):
+        _, eng = tc_engine(backend, CHAIN)
+        before = wire(eng.solve()["path"])
+        eng.retract("edge", [("z", "z")])
+        assert wire(eng["path"]) == before
+        assert eng.last_update_stats["retracted_base"] == 0.0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestStratifiedNegation:
+    def test_insert_into_negated_fact_kills(self, backend):
+        # Blocking node "b" kills every path the guard derived through
+        # it — an insertion that *shrinks* the fixpoint.
+        _, eng = tc_engine(backend, CHAIN, blocked=[])
+        eng.solve()
+        assert eng["path"].size() == 6
+        eng.insert("blocked", [("b",)])
+        assert_matches_cold(backend, eng, CHAIN, blocked=["b"])
+
+    def test_retract_from_negated_fact_unblocks(self, backend):
+        # Unblocking is a retraction that *grows* the fixpoint: the
+        # previously suppressed derivations must all reappear.
+        _, eng = tc_engine(backend, CHAIN, blocked=["b"])
+        eng.solve()
+        eng.retract("blocked", [("b",)])
+        assert_matches_cold(backend, eng, CHAIN, blocked=[])
+        assert eng["path"].size() == 6
+
+    def test_simultaneous_block_and_edge_insert(self, backend):
+        _, eng = tc_engine(backend, CHAIN, blocked=[])
+        eng.solve()
+        eng.update(
+            inserts={"edge": [("d", "e")], "blocked": [("a",)]},
+        )
+        assert_matches_cold(
+            backend, eng, CHAIN + [("d", "e")], blocked=["a"]
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestStreams:
+    def test_interleaved_insert_retract_stream(self, backend):
+        stream = [
+            ({"edge": [("d", "a")]}, {}),                  # close cycle
+            ({}, {"edge": [("b", "c")]}),                  # cut it
+            ({"edge": [("b", "c"), ("e", "a")]}, {}),      # regrow + extend
+            ({}, {"edge": [("d", "a"), ("e", "a")]}),      # trim both
+            ({"edge": [("c", "c")]}, {"edge": [("a", "b")]}),  # mixed batch
+        ]
+        _, eng = tc_engine(backend, CHAIN)
+        eng.solve()
+        edges = set(CHAIN)
+        for inserts, retracts in stream:
+            eng.update(inserts=inserts or None, retracts=retracts or None)
+            edges |= {tuple(t) for t in inserts.get("edge", [])}
+            edges -= {tuple(t) for t in retracts.get("edge", [])}
+            assert_matches_cold(backend, eng, sorted(edges))
+
+    def test_flap_returns_to_original(self, backend):
+        _, eng = tc_engine(backend, CHAIN)
+        before = wire(eng.solve()["path"])
+        for _ in range(3):
+            eng.insert("edge", [("d", "a")])
+            eng.retract("edge", [("d", "a")])
+        assert wire(eng["path"]) == before
+
+
+class TestUpdateApi:
+    def test_update_requires_prior_solve(self):
+        _, eng = tc_engine("bdd", CHAIN)
+        with pytest.raises(JeddError, match="solve"):
+            eng.insert("edge", [("d", "a")])
+
+    def test_update_unknown_relation(self):
+        _, eng = tc_engine("bdd", CHAIN)
+        eng.solve()
+        with pytest.raises(JeddError, match="nosuch"):
+            eng.insert("nosuch", [("a", "b")])
+
+    def test_update_accepts_relation_value(self):
+        u, eng = tc_engine("bdd", CHAIN)
+        eng.solve()
+        delta = Relation.from_tuples(
+            u, ["src", "dst"], [("d", "a")], ["N1", "N2"]
+        )
+        eng.insert("edge", delta)
+        assert eng["path"].size() == 16
+
+    def test_seed_relation_updates(self):
+        # Seeds are base relations too: inserting into / retracting
+        # from the seed maintains the closure exactly like fact edits.
+        u = make_universe("bdd")
+        eng = FixpointEngine(u)
+        eng.fact("edge", Relation.from_tuples(
+            u, ["src", "dst"], CHAIN, ["N1", "N2"]
+        ))
+        seed = Relation.from_tuples(
+            u, ["src", "dst"], [("q", "a")], ["N1", "N2"]
+        )
+        eng.relation("path", seed)
+        eng.rule("path", ["src", "dst"], [
+            ("edge", ("src", "mid")),
+            ("path", {"src": "mid", "dst": "dst"}),
+        ])
+        eng.solve()
+        eng.insert("path", [("r", "a")])
+        got = {tuple(t) for t in eng["path"].tuples()}
+        assert ("r", "a") in got and ("r", "b") not in got
+        # (r, a) composes nothing new upstream (rule composes through
+        # edge first), but retracting the original seed must delete its
+        # derived row.
+        eng.retract("path", [("q", "a")])
+        got = {tuple(t) for t in eng["path"].tuples()}
+        assert ("q", "a") not in got
+
+    def test_empty_update_is_cheap_noop(self):
+        _, eng = tc_engine("bdd", CHAIN)
+        before = wire(eng.solve()["path"])
+        result = eng.update()
+        assert wire(result["path"]) == before
+        assert eng.last_update_stats["updates"] == 1.0
+        assert eng.last_update_stats["deleted"] == 0.0
+
+    def test_update_stats_shape(self):
+        _, eng = tc_engine("bdd", CHAIN)
+        eng.solve()
+        eng.update(
+            inserts={"edge": [("d", "a")]},
+            retracts={"edge": [("a", "b")]},
+        )
+        stats = eng.last_update_stats
+        for key in (
+            "inserted_base", "retracted_base", "deleted", "rederived",
+            "delete_iterations", "grow_iterations", "updates",
+            "rule_evaluations", "kernel_work",
+        ):
+            assert key in stats
+        assert stats["inserted_base"] == 1.0
+        assert stats["retracted_base"] == 1.0
+
+    def test_update_emits_incremental_spans(self):
+        from repro import telemetry
+
+        telemetry.disable()
+        try:
+            tel = telemetry.enable()
+            _, eng = tc_engine("bdd", CHAIN)
+            eng.solve()
+            eng.retract("edge", [("b", "c")])
+            names = {s.name for s in tel.tracer.spans}
+            assert "incremental.update" in names
+            assert "incremental.overdelete" in names
+            assert "incremental.rederive" in names
+            assert "incremental.grow" in names
+            gauges = tel.metrics_snapshot()
+            assert gauges.get("incremental.kernel_work", 0) > 0
+        finally:
+            telemetry.disable()

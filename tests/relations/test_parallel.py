@@ -12,7 +12,13 @@ import signal
 import pytest
 
 from repro.bdd.io import dumps_diagram_binary, loads_diagram_binary
-from repro.relations import FixpointEngine, JeddError, Relation, open_universe
+from repro.relations import (
+    ExecutionPolicy,
+    FixpointEngine,
+    JeddError,
+    Relation,
+    open_universe,
+)
 from repro.relations.parallel import _build_universe, ParallelExecutor
 
 WATCHDOG_SECONDS = 120
@@ -53,7 +59,7 @@ def solve_closure(backend="bdd", engine="seminaive", **kw):
     """Transitive closure over EDGES; returns (tuple set, engine)."""
     u = closure_universe(backend)
     edge = u.relation_of(["src", "dst"], EDGES, ["P1", "P2"])
-    eng = FixpointEngine(u, engine=engine, **kw)
+    eng = FixpointEngine(u, ExecutionPolicy(engine=engine, **kw))
     eng.fact("edge", edge)
     eng.relation("path", edge)
     eng.rule("path", ("x", "z"), [("edge", ("x", "y")), ("path", ("y", "z"))])
@@ -78,7 +84,7 @@ class TestEngineSelection:
     def test_unknown_engine_rejected(self):
         u = closure_universe()
         with pytest.raises(JeddError):
-            FixpointEngine(u, engine="threads")
+            FixpointEngine(u, "threads")
 
     def test_serial_engine_has_no_parallel_stats(self):
         result, eng = solve_closure(engine="seminaive")
@@ -103,7 +109,9 @@ class TestEngineSelection:
         same = u.relation_of(
             ["src", "dst"], [(n, n) for n in nodes], ["P1", "P2"]
         )
-        eng = FixpointEngine(u, engine="parallel", workers=2)
+        eng = FixpointEngine(
+            u, ExecutionPolicy(engine="parallel", workers=2)
+        )
         eng.fact("edge", edge)
         eng.relation("path", edge)
         eng.relation("same", same)
@@ -149,7 +157,9 @@ class TestParallelEquivalence:
 
         u2 = closure_universe()
         edge2 = u2.relation_of(["src", "dst"], EDGES, ["P1", "P2"])
-        e2 = FixpointEngine(u2, engine="parallel", workers=2)
+        e2 = FixpointEngine(
+            u2, ExecutionPolicy(engine="parallel", workers=2)
+        )
         e2.fact("edge", edge2)
         e2.relation("path", edge2)
         e2.rule("path", ("x", "z"),

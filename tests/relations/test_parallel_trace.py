@@ -12,7 +12,7 @@ import signal
 import pytest
 
 from repro import telemetry
-from repro.relations import FixpointEngine, open_universe
+from repro.relations import ExecutionPolicy, FixpointEngine, open_universe
 from repro.relations.parallel import (
     ParallelExecutor,
     _drain_worker_spans,
@@ -65,7 +65,9 @@ def traced_solve(workers=2):
     u = closure_universe()
     tel.instrument_universe(u)
     edge = u.relation_of(["src", "dst"], EDGES, ["P1", "P2"])
-    eng = FixpointEngine(u, engine="parallel", workers=workers)
+    eng = FixpointEngine(
+        u, ExecutionPolicy(engine="parallel", workers=workers)
+    )
     eng.fact("edge", edge)
     eng.relation("path", edge)
     eng.rule(
@@ -148,7 +150,7 @@ class TestWorkerLanes:
         telemetry.disable()
         u = closure_universe()
         edge = u.relation_of(["src", "dst"], EDGES, ["P1", "P2"])
-        eng = FixpointEngine(u, engine="seminaive")
+        eng = FixpointEngine(u, "seminaive")
         eng.fact("edge", edge)
         eng.relation("path", edge)
         eng.rule(
@@ -162,7 +164,9 @@ class TestWorkerLanes:
     def test_disabled_telemetry_ships_nothing(self):
         u = closure_universe()
         edge = u.relation_of(["src", "dst"], EDGES, ["P1", "P2"])
-        eng = FixpointEngine(u, engine="parallel", workers=2)
+        eng = FixpointEngine(
+            u, ExecutionPolicy(engine="parallel", workers=2)
+        )
         eng.fact("edge", edge)
         eng.relation("path", edge)
         eng.rule(

@@ -12,6 +12,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.relations import (
+    ExecutionPolicy,
     FixpointEngine,
     Relation,
     Universe,
@@ -131,7 +132,9 @@ def solve(atoms, head, edges, backend, optimize, engine="seminaive"):
         physdoms={"N1": 4, "N2": 4, "N3": 4},
     )
     edge = u.relation_of(["src", "dst"], edges, ["N1", "N2"])
-    eng = FixpointEngine(u, engine=engine, optimize=optimize)
+    eng = FixpointEngine(
+        u, ExecutionPolicy(engine=engine, optimize=optimize)
+    )
     eng.fact("edge", edge)
     eng.relation("path", edge)
     eng.rule("path", head, list(atoms))

@@ -1,0 +1,186 @@
+"""ExecutionPolicy: the one value describing how a solve runs.
+
+Covers the dataclass itself (validation, coercion, derivation) and the
+deprecation shims: every entry point that used to take ``engine=`` /
+``workers=`` keyword sprawl must still accept them, emit a
+``DeprecationWarning``, and behave identically.
+"""
+
+import warnings
+
+import pytest
+
+from repro.analyses.callgraph import CallGraph
+from repro.analyses.facts import synthesize
+from repro.analyses.pointsto import PointsTo
+from repro.analyses.sideeffects import SideEffects
+from repro.analyses.universe import AnalysisUniverse
+from repro.analyses.vcall import VirtualCallResolver
+from repro.relations import (
+    ExecutionPolicy,
+    FixpointEngine,
+    JeddError,
+    Relation,
+    open_universe,
+)
+from repro.relations.policy import POLICY_ENGINES
+
+
+class TestDataclass:
+    def test_defaults(self):
+        policy = ExecutionPolicy()
+        assert policy.engine == "seminaive"
+        assert policy.workers is None
+        assert policy.optimize is True
+        assert policy.collect_plans is False
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(JeddError, match="unknown engine"):
+            ExecutionPolicy(engine="threads")
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(JeddError, match="workers"):
+            ExecutionPolicy(workers=0)
+
+    def test_frozen_and_hashable(self):
+        policy = ExecutionPolicy(engine="parallel", workers=2)
+        with pytest.raises(Exception):
+            policy.engine = "naive"
+        assert policy in {policy}
+
+    def test_of_coercions(self):
+        assert ExecutionPolicy.of(None) == ExecutionPolicy()
+        assert ExecutionPolicy.of("naive").engine == "naive"
+        policy = ExecutionPolicy(workers=3)
+        assert ExecutionPolicy.of(policy) is policy
+
+    def test_of_rejects_other_types(self):
+        with pytest.raises(JeddError, match="ExecutionPolicy"):
+            ExecutionPolicy.of(42)
+
+    def test_with_options(self):
+        base = ExecutionPolicy()
+        derived = base.with_options(engine="parallel", workers=4)
+        assert derived.engine == "parallel"
+        assert derived.workers == 4
+        assert base.engine == "seminaive"
+
+    def test_str_forms(self):
+        assert str(ExecutionPolicy()) == "seminaive"
+        assert "x4" in str(ExecutionPolicy(engine="parallel", workers=4))
+        assert "unoptimized" in str(ExecutionPolicy(optimize=False))
+
+    def test_engine_names_documented(self):
+        assert set(POLICY_ENGINES) == {"seminaive", "parallel", "naive"}
+
+
+def tc_universe():
+    u = open_universe(
+        "bdd",
+        "interleaved",
+        domains={"N": 16},
+        attributes={"src": "N", "dst": "N", "mid": "N"},
+        physdoms={"N1": 4, "N2": 4},
+    )
+    edge = Relation.from_tuples(
+        u, ["src", "dst"], [("a", "b"), ("b", "c")], ["N1", "N2"]
+    )
+    return u, edge
+
+
+def solve_with(**engine_kwargs):
+    u, edge = tc_universe()
+    eng = FixpointEngine(u, **engine_kwargs)
+    eng.fact("edge", edge)
+    eng.relation("path", edge)
+    eng.rule("path", ["src", "dst"], [
+        ("edge", ("src", "mid")),
+        ("path", {"src": "mid", "dst": "dst"}),
+    ])
+    return eng, eng.solve()["path"]
+
+
+class TestFixpointEngineShims:
+    def test_policy_positional(self):
+        eng, path = solve_with(policy=ExecutionPolicy(collect_plans=True))
+        assert path.size() == 3
+        assert eng.collect_plans is True
+
+    def test_policy_string_shorthand(self):
+        eng, _ = solve_with(policy="seminaive")
+        assert eng.policy == ExecutionPolicy()
+
+    def test_legacy_engine_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="engine="):
+            eng, path = solve_with(engine="seminaive")
+        assert path.size() == 3
+
+    def test_legacy_optimize_kwarg_warns_and_applies(self):
+        with pytest.warns(DeprecationWarning, match="optimize="):
+            eng, _ = solve_with(optimize=False)
+        assert eng.policy.optimize is False
+        assert eng.optimize is False
+
+    def test_legacy_kwargs_override_policy(self):
+        # During migration the explicit old kwarg wins over the policy
+        # value, so half-migrated call sites keep their behaviour.
+        with pytest.warns(DeprecationWarning):
+            eng, _ = solve_with(
+                policy=ExecutionPolicy(optimize=True), optimize=False
+            )
+        assert eng.policy.optimize is False
+
+    def test_policy_only_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            solve_with(policy=ExecutionPolicy())
+            solve_with()
+
+    def test_unknown_engine_via_policy(self):
+        u, _ = tc_universe()
+        with pytest.raises(JeddError, match="unknown engine"):
+            FixpointEngine(u, "threads")
+
+
+class TestAnalysisShims:
+    @pytest.fixture(scope="class")
+    def au(self):
+        facts = synthesize("policy", n_classes=8, n_signatures=4, seed=3)
+        return AnalysisUniverse(facts)
+
+    def test_pointsto_policy(self, au):
+        pta = PointsTo(au, policy=ExecutionPolicy())
+        assert pta.engine == "seminaive"
+        assert pta.solve().size() > 0
+
+    def test_pointsto_legacy_engine_warns(self, au):
+        with pytest.warns(DeprecationWarning, match="PointsTo"):
+            pta = PointsTo(au, engine="naive")
+        assert pta.policy.engine == "naive"
+
+    def test_vcall_legacy_engine_warns(self, au):
+        with pytest.warns(DeprecationWarning, match="VirtualCallResolver"):
+            resolver = VirtualCallResolver(au, engine="naive")
+        assert resolver.policy.engine == "naive"
+
+    def test_callgraph_legacy_engine_warns(self, au):
+        pt = PointsTo(au).solve()
+        with pytest.warns(DeprecationWarning, match="CallGraph"):
+            cg = CallGraph(au, pt, engine="seminaive")
+        assert cg.policy.engine == "seminaive"
+
+    def test_sideeffects_legacy_engine_warns(self, au):
+        pt = PointsTo(au).solve()
+        edges = CallGraph(au, pt).build()
+        with pytest.warns(DeprecationWarning, match="SideEffects"):
+            se = SideEffects(au, pt, edges, engine="seminaive")
+        assert se.policy.engine == "seminaive"
+
+    def test_analyses_policy_only_warning_free(self, au):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            pt = PointsTo(au, policy="seminaive").solve()
+            VirtualCallResolver(au, ExecutionPolicy())
+            cg = CallGraph(au, pt, ExecutionPolicy())
+            edges = cg.build()
+            SideEffects(au, pt, edges, ExecutionPolicy()).solve()

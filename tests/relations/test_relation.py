@@ -125,6 +125,24 @@ class TestSetOps:
         assert (a | a) == a
 
 
+class TestOrdered:
+    def test_reorders_columns_metadata_only(self, u):
+        r = rel(u, ["type", "signature"], [("A", "f")], ["T1", "S1"])
+        o = r.ordered(["signature", "type"])
+        assert list(o.schema.names()) == ["signature", "type"]
+        assert set(o.tuples()) == {("f", "A")}
+        assert o.node == r.node  # same diagram, different presentation
+
+    def test_identity_order_returns_self(self, u):
+        r = rel(u, ["type", "signature"], [("A", "f")], ["T1", "S1"])
+        assert r.ordered(["type", "signature"]) is r
+
+    def test_rejects_non_permutation(self, u):
+        r = rel(u, ["type", "signature"], [("A", "f")], ["T1", "S1"])
+        with pytest.raises(JeddError, match="permutation"):
+            r.ordered(["type", "tgttype"])
+
+
 class TestAttributeOps:
     def test_project_away(self, u):
         r = rel(u, ["type", "signature"], [("A", "f"), ("A", "g")], ["T1", "S1"])

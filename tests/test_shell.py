@@ -328,6 +328,103 @@ class TestTelemetryCommands:
         assert "unknown command" in out
 
 
+class TestColonSpellings:
+    """Every command accepts both spellings — table-driven over the
+    full ``do_*`` dispatch table, so a new command cannot regress."""
+
+    @pytest.mark.parametrize("name", RelationalShell.command_names())
+    def test_colon_spelling_dispatches(self, name):
+        shell = RelationalShell(stdout=io.StringIO())
+        calls = []
+        setattr(
+            shell,
+            "do_" + name,
+            lambda arg, _n=name: (calls.append((_n, arg)), False)[1],
+        )
+        shell.onecmd(f":{name} some args")
+        assert calls == [(name, "some args")]
+
+    @pytest.mark.parametrize("name", RelationalShell.command_names())
+    def test_bare_spelling_dispatches(self, name):
+        shell = RelationalShell(stdout=io.StringIO())
+        calls = []
+        setattr(
+            shell,
+            "do_" + name,
+            lambda arg, _n=name: (calls.append((_n, arg)), False)[1],
+        )
+        shell.onecmd(f"{name} some args")
+        assert calls == [(name, "some args")]
+
+    def test_table_covers_known_commands(self):
+        names = RelationalShell.command_names()
+        for expected in (
+            "telemetry", "stats", "trace", "metrics", "explain", "fix",
+            "let", "save", "load", "serve", "connect",
+        ):
+            assert expected in names
+
+    def test_unknown_colon_command_reported(self):
+        shell, out = script([":frobnicate"])
+        assert "unknown command" in out
+
+
+class TestPersistenceCommands:
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "session.jddu"
+        shell, out = script([f"save {path}"])
+        assert "saved 1 relation(s)" in out
+        out2 = io.StringIO()
+        loaded = run_script([f"load {path}", "size extend"], stdout=out2)
+        assert loaded.universe is not None
+        assert out2.getvalue().strip().endswith("2")
+
+    def test_save_requires_finalized(self, tmp_path):
+        out = io.StringIO()
+        run_script([f"save {tmp_path / 'x.jddu'}"], stdout=out)
+        assert "error" in out.getvalue()
+
+    def test_save_usage(self):
+        shell, out = script(["save"])
+        assert "usage" in out
+
+    def test_load_missing_file_reports_error(self, tmp_path):
+        shell, out = script([f"load {tmp_path / 'missing.jddu'}"])
+        assert "error" in out
+
+
+class TestServiceCommands:
+    def test_serve_connect_remote_roundtrip(self):
+        out = io.StringIO()
+        shell = RelationalShell(stdout=out)
+        try:
+            shell.onecmd("serve")
+            address = out.getvalue().strip().split()[-1]
+            shell.onecmd(f"connect {address} demo")
+            for line in SETUP:
+                shell.onecmd(f"remote {line}")
+            shell.onecmd("remote size extend")
+            text = out.getvalue()
+            assert "connected to" in text
+            assert text.strip().endswith("2")
+            shell.onecmd("disconnect")
+            assert "disconnected" in out.getvalue()
+        finally:
+            shell.onecmd("quit")
+
+    def test_connect_usage(self):
+        shell, out = script(["connect nocolon"])
+        assert "usage" in out
+
+    def test_remote_requires_connection(self):
+        shell, out = script(["remote size extend"])
+        assert "connect" in out
+
+    def test_disconnect_requires_connection(self):
+        shell, out = script(["disconnect"])
+        assert "not connected" in out
+
+
 class TestQuitting:
     def test_quit_stops_script(self):
         out = io.StringIO()
