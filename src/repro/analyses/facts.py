@@ -228,6 +228,12 @@ PRESETS: Dict[str, Dict[str, int | float]] = {
                     vars_per_method=3.5, assigns_per_method=3.0, seed=104),
     "jedit": dict(n_classes=220, n_signatures=16, methods_per_class=4.0,
                   vars_per_method=4.0, assigns_per_method=3.0, seed=105),
+    # Scaled past the paper's Table 2 suite: the out-of-core kernel's
+    # cap-enforcement workload (``repro.bench`` ``pointsto-xl``).  Its
+    # uncapped points-to solve holds ~70 MB of kernel state resident,
+    # so a 16 MB ``memory_cap_bytes`` genuinely forces spilling.
+    "javac-xl": dict(n_classes=240, n_signatures=16, methods_per_class=4.0,
+                     vars_per_method=4.0, assigns_per_method=3.5, seed=106),
 }
 
 

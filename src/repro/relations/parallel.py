@@ -111,6 +111,13 @@ def _build_universe(spec: dict) -> Universe:
             from repro.bdd.arena import ArenaBDDManager
 
             u.manager = ArenaBDDManager(spec["num_vars"])
+        elif u.kernel_name == "ooc":
+            # Each worker gets its own manager and hence its own
+            # private spill directory (from JEDD_OOC_SPILL_DIR or a
+            # fresh tempdir) — spill files are never shared.
+            from repro.bdd.ooc import OocBDDManager
+
+            u.manager = OocBDDManager(spec["num_vars"])
         else:
             u.manager = BDDManager(spec["num_vars"])
     else:

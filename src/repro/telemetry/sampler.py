@@ -119,6 +119,13 @@ class Sampler:
                 ):
                     if key in prof:
                         gauge(f"{prefix}.frontier.{key}", prof[key])
+            # Out-of-core kernels export spill/sweep gauges: resident
+            # vs cap, page-cache traffic, sorted-run population, rows
+            # spilled from the sweep queues.
+            ooc = getattr(manager, "ooc_profile", None)
+            if ooc is not None:
+                for key, value in ooc().items():
+                    gauge(f"{prefix}.ooc.{key}", value)
 
         rss = process_rss_bytes()
         if rss is not None:

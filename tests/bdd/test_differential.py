@@ -1,20 +1,21 @@
 """Randomized differential testing across every kernel and backend.
 
-Each *chain* builds the same random relational program four ways -- on
+Each *chain* builds the same random relational program five ways -- on
 the reference BDD kernel, on the vectorized arena BDD kernel
-(:mod:`repro.bdd.arena`), on the ZDD backend, and against a plain-Python
+(:mod:`repro.bdd.arena`), on the out-of-core streaming kernel
+(:mod:`repro.bdd.ooc`), on the ZDD backend, and against a plain-Python
 oracle that stores relations as sets of ``{attribute: value}`` rows --
 and asserts they all agree on the exact tuple set after every
-operation.  Between the two BDD kernels the check is stronger than
+operation.  Between the three BDD kernels the check is stronger than
 tuple-set equality: hash-consing makes reduced ordered BDDs canonical,
-so under the same variable order both kernels must build *node-for-node
+so under the same variable order all of them must build *node-for-node
 identical* diagrams.  The harness asserts that by comparing serialized
 wire bytes (:func:`repro.bdd.io.dumps_diagram_binary`) after every
 operation.
 
 The suite runs each chain twice, with automatic variable reordering off
 and on, so sifting is proven semantics-preserving under real operation
-mixes (not just on static diagrams) for both kernels.
+mixes (not just on static diagrams) for every kernel.
 
 Chains are seeded by index: on the first divergence the harness prints
 a one-line replay recipe (seed + chain index + which pair of
@@ -165,13 +166,14 @@ class Oracle:
         }
 
 
-class Quad:
-    """The same relation on both BDD kernels, the ZDD engine, and the
-    oracle."""
+class Quint:
+    """The same relation on all three BDD kernels, the ZDD engine, and
+    the oracle."""
 
-    def __init__(self, ref, arena, zdd, oracle):
+    def __init__(self, ref, arena, ooc, zdd, oracle):
         self.ref = ref
         self.arena = arena
+        self.ooc = ooc
         self.zdd = zdd
         self.oracle = oracle
 
@@ -191,6 +193,13 @@ class Quad:
             f"missing={expected - got_arena}\n"
             + _repro("arena-bdd vs oracle")
         )
+        got_ooc = set(self.ooc.tuples())
+        assert got_ooc == expected, (
+            f"ooc-BDD diverged from oracle over {names}: "
+            f"extra={got_ooc - expected}, "
+            f"missing={expected - got_ooc}\n"
+            + _repro("ooc-bdd vs oracle")
+        )
         znames = self.zdd.schema.names()
         got_zdd = {
             tuple(row[znames.index(n)] for n in names)
@@ -203,6 +212,7 @@ class Quad:
         )
         assert self.ref.size() == len(expected)
         assert self.arena.size() == len(expected)
+        assert self.ooc.size() == len(expected)
         assert self.zdd.size() == len(expected)
         # Canonicity: under the same variable order, both BDD kernels
         # must hold node-for-node identical diagrams, not merely the
@@ -210,21 +220,24 @@ class Quad:
         # triggered, deterministic) sift decisions, so the orders never
         # drift apart either.
         m_ref = self.ref.universe.manager
-        m_arena = self.arena.universe.manager
-        assert m_ref.current_order() == m_arena.current_order(), (
-            "variable orders diverged between BDD kernels\n"
-            + _repro("reference-bdd vs arena-bdd")
-        )
         wire_ref = dumps_diagram_binary(m_ref, self.ref.node)
-        wire_arena = dumps_diagram_binary(m_arena, self.arena.node)
-        assert wire_ref == wire_arena, (
-            f"BDD kernels diverged on canonical node table over {names} "
-            f"({len(wire_ref)} vs {len(wire_arena)} wire bytes)\n"
-            + _repro("reference-bdd vs arena-bdd")
-        )
+        for label, rel in (("arena", self.arena), ("ooc", self.ooc)):
+            m_other = rel.universe.manager
+            assert m_ref.current_order() == m_other.current_order(), (
+                f"variable orders diverged between reference and {label} "
+                "kernels\n"
+                + _repro(f"reference-bdd vs {label}-bdd")
+            )
+            wire_other = dumps_diagram_binary(m_other, rel.node)
+            assert wire_ref == wire_other, (
+                f"BDD kernels (reference vs {label}) diverged on "
+                f"canonical node table over {names} "
+                f"({len(wire_ref)} vs {len(wire_other)} wire bytes)\n"
+                + _repro(f"reference-bdd vs {label}-bdd")
+            )
 
 
-def random_base(rng, u_ref, u_arena, u_zdd):
+def random_base(rng, u_ref, u_arena, u_ooc, u_zdd):
     n_attrs = rng.randrange(1, 3)
     attrs = rng.sample(ATTRS, n_attrs)
     pds = rng.sample(PHYSDOMS, n_attrs)
@@ -233,28 +246,30 @@ def random_base(rng, u_ref, u_arena, u_zdd):
         tuple(rng.randrange(DOMAIN_SIZE) for _ in attrs)
         for _ in range(n_rows)
     ]
-    return Quad(
+    return Quint(
         Relation.from_tuples(u_ref, attrs, rows, pds),
         Relation.from_tuples(u_arena, attrs, rows, pds),
+        Relation.from_tuples(u_ooc, attrs, rows, pds),
         Relation.from_tuples(u_zdd, attrs, rows, pds),
         Oracle.from_tuples(attrs, rows),
     )
 
 
-def apply_random_op(rng, pool, u_ref, u_arena, u_zdd):
-    """Apply one random operation; returns a new Quad or None."""
+def apply_random_op(rng, pool, u_ref, u_arena, u_ooc, u_zdd):
+    """Apply one random operation; returns a new Quint or None."""
     ops = ["base", "union", "intersect", "difference", "project",
            "rename", "join", "compose", "select", "replace"]
     op = rng.choice(ops)
     if op == "base" or not pool:
-        return random_base(rng, u_ref, u_arena, u_zdd)
+        return random_base(rng, u_ref, u_arena, u_ooc, u_zdd)
     t1 = rng.choice(pool)
     if op in ("union", "intersect", "difference"):
         same = [t for t in pool if t.oracle.attrs == t1.oracle.attrs]
         t2 = rng.choice(same)
-        return Quad(
+        return Quint(
             getattr(t1.ref, op)(t2.ref),
             getattr(t1.arena, op)(t2.arena),
+            getattr(t1.ooc, op)(t2.ooc),
             getattr(t1.zdd, op)(t2.zdd),
             getattr(t1.oracle, op)(t2.oracle),
         )
@@ -262,9 +277,10 @@ def apply_random_op(rng, pool, u_ref, u_arena, u_zdd):
         if len(t1.oracle.attrs) < 2:
             return None
         name = rng.choice(sorted(t1.oracle.attrs))
-        return Quad(
+        return Quint(
             t1.ref.project_away(name),
             t1.arena.project_away(name),
+            t1.ooc.project_away(name),
             t1.zdd.project_away(name),
             t1.oracle.project_away(name),
         )
@@ -274,9 +290,10 @@ def apply_random_op(rng, pool, u_ref, u_arena, u_zdd):
             return None
         old = rng.choice(sorted(t1.oracle.attrs))
         new = rng.choice(unused)
-        return Quad(
+        return Quint(
             t1.ref.rename({old: new}),
             t1.arena.rename({old: new}),
+            t1.ooc.rename({old: new}),
             t1.zdd.rename({old: new}),
             t1.oracle.rename({old: new}),
         )
@@ -301,24 +318,27 @@ def apply_random_op(rng, pool, u_ref, u_arena, u_zdd):
         if result_size > 3 or result_size == 0:
             return None
         if op == "join":
-            return Quad(
+            return Quint(
                 t1.ref.join(t2.ref, [x], [y]),
                 t1.arena.join(t2.arena, [x], [y]),
+                t1.ooc.join(t2.ooc, [x], [y]),
                 t1.zdd.join(t2.zdd, [x], [y]),
                 t1.oracle.join(t2.oracle, x, y),
             )
-        return Quad(
+        return Quint(
             t1.ref.compose(t2.ref, [x], [y]),
             t1.arena.compose(t2.arena, [x], [y]),
+            t1.ooc.compose(t2.ooc, [x], [y]),
             t1.zdd.compose(t2.zdd, [x], [y]),
             t1.oracle.compose(t2.oracle, x, y),
         )
     if op == "select":
         name = rng.choice(sorted(t1.oracle.attrs))
         values = {name: rng.randrange(DOMAIN_SIZE)}
-        return Quad(
+        return Quint(
             t1.ref.select(values),
             t1.arena.select(values),
+            t1.ooc.select(values),
             t1.zdd.select(values),
             t1.oracle.select(values),
         )
@@ -330,9 +350,10 @@ def apply_random_op(rng, pool, u_ref, u_arena, u_zdd):
         if not free:
             return None
         target = rng.choice(free)
-        return Quad(
+        return Quint(
             t1.ref.replace({name: target}),
             t1.arena.replace({name: target}),
+            t1.ooc.replace({name: target}),
             t1.zdd.replace({name: target}),
             t1.oracle,
         )
@@ -344,20 +365,22 @@ def run_chain(seed, reorder, n_ops, chain_index=0):
     rng = random.Random(seed)
     u_ref = build_universe("bdd", kernel="reference")
     u_arena = build_universe("bdd", kernel="arena")
+    u_ooc = build_universe("bdd", kernel="ooc")
     u_zdd = build_universe("zdd")
     if reorder:
         # Tiny threshold so sifting actually fires mid-chain, with both
-        # grouping policies exercised across seeds.  Both BDD kernels
-        # get identical settings: their tables are identical, so their
+        # grouping policies exercised across seeds.  Every BDD kernel
+        # gets identical settings: their tables are identical, so their
         # sift decisions must coincide (check() asserts it).
         threshold = rng.choice([20, 60])
         group = bool(seed % 2)
         u_ref.enable_reorder(threshold=threshold, group_by_physdom=group)
         u_arena.enable_reorder(threshold=threshold, group_by_physdom=group)
-    pool = [random_base(rng, u_ref, u_arena, u_zdd)]
+        u_ooc.enable_reorder(threshold=threshold, group_by_physdom=group)
+    pool = [random_base(rng, u_ref, u_arena, u_ooc, u_zdd)]
     pool[0].check()
     for _ in range(n_ops):
-        result = apply_random_op(rng, pool, u_ref, u_arena, u_zdd)
+        result = apply_random_op(rng, pool, u_ref, u_arena, u_ooc, u_zdd)
         if result is None:
             continue
         result.check()
@@ -369,11 +392,13 @@ def run_chain(seed, reorder, n_ops, chain_index=0):
             # live relation's tuples survived it.
             u_ref.reorder()
             u_arena.reorder()
+            u_ooc.reorder()
             for t in pool:
                 t.check()
     if reorder:
         u_ref.manager.check_integrity()
         u_arena.manager.check_integrity()
+        u_ooc.manager.check_integrity()
 
 
 # Ten batches per mode keep single-test runtimes small while totalling
@@ -402,11 +427,12 @@ def test_differential_chains_stress(reorder):
 @pytest.mark.kernel_stress
 @pytest.mark.parametrize("reorder", [False, True], ids=["plain", "reorder"])
 def test_kernel_stress_chains(reorder):
-    """Longer chains aimed at the arena kernel's batch machinery.
+    """Longer chains aimed at the arena and ooc kernels' machinery.
 
-    Same four-way harness, but with enough operations per chain that
-    frontiers widen past ``vector_threshold`` and the arena's vector
-    paths (not just the narrow scalar fallbacks) carry real traffic.
+    Same five-way harness, but with enough operations per chain that
+    frontiers widen past ``vector_threshold`` (so the arena's vector
+    paths, not just the narrow scalar fallbacks, carry real traffic)
+    and the ooc kernel's streaming sweeps process deep request queues.
     """
     for i in range(N_CHAINS_STRESS):
         seed = 700_000 + i if reorder else 600_000 + i

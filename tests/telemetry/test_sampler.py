@@ -76,6 +76,41 @@ class TestSample:
         assert "bdd.frontier.max_frontier" in snap
         assert "bdd.frontier.total_requests" in snap
 
+    def test_ooc_spill_gauges(self):
+        session = Telemetry()
+        u = open_universe(
+            backend="bdd",
+            kernel="ooc",
+            domains={"N": 64},
+            attributes={"src": "N", "dst": "N"},
+            physdoms={"P1": 6, "P2": 6, "P3": 6},
+        )
+        session.instrument_universe(u)
+        m = u.manager
+        m.memory_cap_bytes = None  # keep the run deterministic; gauges
+        # must exist for capped *and* uncapped managers alike.
+        u.relation_of(
+            ["src", "dst"], [(i, (i * 7) % 50) for i in range(40)],
+            ["P1", "P2"],
+        )
+        Sampler(session).sample()
+        snap = session.metrics_snapshot()
+        assert "bdd.ooc.sweeps" in snap and snap["bdd.ooc.sweeps"] > 0
+        assert "bdd.ooc.resident_bytes" in snap
+        assert (
+            snap["bdd.ooc.peak_resident_bytes"]
+            >= snap["bdd.ooc.resident_bytes"]
+        )
+        assert snap["bdd.ooc.cap_bytes"] == 0
+        # The spill-traffic gauges are present (zero here: uncapped).
+        for key in (
+            "bdd.ooc.spill_bytes_written",
+            "bdd.ooc.pages_evicted",
+            "bdd.ooc.unique_flushes",
+            "bdd.ooc.queue_rows_spilled",
+        ):
+            assert snap[key] == 0
+
     def test_provider_prefix(self):
         session, _ = _session_with_work()
         sampler = Sampler(session)

@@ -45,6 +45,40 @@ class TestRunAndArtifact:
         with pytest.raises(SystemExit):
             bench.run_workloads(["no-such-workload"], verbose=False)
 
+    def test_parallel_workload_actually_ships_bytes(self):
+        # Regression: PointsTo(au, ExecutionPolicy(...)) passed the
+        # policy positionally into ``type_filter``, so the "parallel"
+        # bench workload silently ran the default serial engine and
+        # reported bytes_shipped == 0 forever.
+        out = bench.run_workloads(
+            ["pointsto-parallel2"], chain_depth=6, repeats=1, verbose=False
+        )
+        m = out["pointsto-parallel2"]
+        assert m["bytes_shipped"] > 0
+        assert m["parallel_broken"] == 0.0
+
+    def test_default_sweep_skips_opt_in_workloads(self, monkeypatch):
+        ran = []
+
+        def fake(name):
+            def run(depth):
+                ran.append(name)
+                return {measure: 1.0 for measure in bench.MEASURES}
+
+            return run
+
+        monkeypatch.setattr(
+            bench, "WORKLOADS", {"cheap": fake("cheap"), "heavy": fake("heavy")}
+        )
+        monkeypatch.setattr(bench, "OPT_IN_WORKLOADS", frozenset({"heavy"}))
+        assert set(bench.run_workloads(None, verbose=False)) == {"cheap"}
+        assert ran == ["cheap"]
+        # Naming the workload explicitly still runs it.
+        assert set(bench.run_workloads(["heavy"], verbose=False)) == {"heavy"}
+
+    def test_opt_in_workloads_are_registered(self):
+        assert bench.OPT_IN_WORKLOADS <= set(bench.WORKLOADS)
+
     def test_write_artifact_schema(self, tmp_path, closure_results):
         path = str(tmp_path / "BENCH.json")
         doc = bench.write_artifact(path, closure_results, chain_depth=40)
