@@ -61,7 +61,7 @@ def main() -> None:
             solver = PointsTo(au)
             pt = solver.solve()
 
-    print(f"points-to solved: {pt.size()} pairs, "
+    print(f"points-to solved: {pt.count()} pairs, "
           f"{solver.iterations} iterations, "
           f"{len(prof.events)} relational operations recorded\n")
 

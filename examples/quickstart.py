@@ -62,7 +62,7 @@ def relational_api() -> None:
         {"type": "T1", "signature": "S1"},
     )
     both = implements | more
-    print(f"\nafter union: {both.size()} tuples")
+    print(f"\nafter union: {both.count()} tuples")
 
     # The class hierarchy as a relation.
     extend = Relation.from_tuples(

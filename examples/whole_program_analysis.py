@@ -119,7 +119,7 @@ def _jedd_pointsto_segment(session, facts):
     pt = it.global_relation("pt")
     npt, _ = naive_points_to(facts)
     assert set(pt.tuples()) == npt
-    print(f"[5] points-to via Jedd interpreter: {pt.size()} pairs "
+    print(f"[5] points-to via Jedd interpreter: {pt.count()} pairs "
           "(matches the relational API result)")
     it.universe.manager.gc()
 
@@ -178,7 +178,7 @@ def main() -> None:
     t0 = time.perf_counter()
     with _phase(session, "hierarchy"):
         hierarchy = Hierarchy(au)
-    print(f"\n[1] hierarchy: {hierarchy.subtype.size()} subtype pairs "
+    print(f"\n[1] hierarchy: {hierarchy.subtype.count()} subtype pairs "
           f"({time.perf_counter() - t0:.3f}s)")
     assert set(hierarchy.subtype.tuples()) == naive_subtypes(facts)
     if session is not None:
@@ -190,7 +190,7 @@ def main() -> None:
     with _phase(session, "points-to"):
         pta = PointsTo(au, policy=policy)
         pt = pta.solve()
-    print(f"[2] points-to ({engine}): {pt.size()} (var, obj) pairs in "
+    print(f"[2] points-to ({engine}): {pt.count()} (var, obj) pairs in "
           f"{pta.iterations} iterations ({time.perf_counter() - t0:.3f}s); "
           f"pt BDD has {pt.node_count()} nodes")
     if pta.fixpoint is not None and pta.fixpoint.parallel_stats is not None:
@@ -206,7 +206,7 @@ def main() -> None:
     with _phase(session, "call-graph"):
         cg = CallGraph(au, pt, policy)
         edges = cg.build()
-    print(f"[3] call graph: {edges.size()} caller/callee edges "
+    print(f"[3] call graph: {edges.count()} caller/callee edges "
           f"({time.perf_counter() - t0:.3f}s)")
     order = [edges.schema.names().index(n) for n in ("caller", "callee")]
     got = {tuple(t[i] for i in order) for t in edges.tuples()}
@@ -215,13 +215,13 @@ def main() -> None:
     roots = au.rel(["method"], [(facts.methods[0],)], ["M1"])
     reached = cg.reachable_from(roots)
     print(f"    methods reachable from {facts.methods[0]}: "
-          f"{reached.size()} of {len(facts.methods)}")
+          f"{reached.count()} of {len(facts.methods)}")
 
     t0 = time.perf_counter()
     with _phase(session, "side-effects"):
         se = SideEffects(au, pt, edges, policy)
         reads, writes = se.solve()
-    print(f"[4] side effects: {reads.size()} reads, {writes.size()} writes "
+    print(f"[4] side effects: {reads.count()} reads, {writes.count()} writes "
           f"({time.perf_counter() - t0:.3f}s)")
     nreads, nwrites = naive_side_effects(facts)
 

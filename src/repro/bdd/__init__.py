@@ -9,6 +9,7 @@ on either without modification.
 
 from repro.bdd.fdd import FDDManager, FiniteDomain
 from repro.bdd.manager import FALSE, TRUE, BDDError, BDDManager, ReorderEvent
+from repro.bdd.mtbdd import MTBDDManager
 from repro.bdd.ooc import OocBDDManager
 from repro.bdd.zdd import ZDDManager
 
@@ -18,6 +19,7 @@ __all__ = [
     "FALSE",
     "FDDManager",
     "FiniteDomain",
+    "MTBDDManager",
     "OocBDDManager",
     "ReorderEvent",
     "TRUE",

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 __all__ = [
+    "AGGREGATE_OPS",
     "Position",
     "AttrSpec",
     "RelationType",
@@ -40,6 +41,7 @@ __all__ = [
     "FreeStmt",
     "FixStmt",
     "Expr",
+    "AggregateOp",
     "VarRef",
     "ConstRel",
     "NewRel",
@@ -52,6 +54,10 @@ __all__ = [
     "CallStmt",
     "walk_var_refs",
 ]
+
+#: Aggregate operators of ``count x.p group by y`` expressions; mirrors
+#: :data:`repro.relations.ir.AGGREGATES`.
+AGGREGATE_OPS = ("count", "sum", "max", "min", "mean")
 
 
 @dataclass(frozen=True)
@@ -329,6 +335,22 @@ class ReplaceOp(Expr):
 
 
 @dataclass
+class AggregateOp(Expr):
+    """``count x.p group by a, b`` -- a weighted (MTBDD-terminal)
+    expression.  ``attr`` is the aggregated attribute (None only for
+    bare ``count``); the result maps each ``group_by`` assignment to a
+    number, so it is *weighted* and may only appear where a
+    :class:`~repro.relations.relation.WeightedRelation` is acceptable
+    (``print``), never as a relational operand."""
+
+    agg: str  # one of AGGREGATE_OPS
+    operand: Expr
+    attr: Optional[str]
+    group_by: List[str]
+    pos: Position = field(default=Position(0, 0))
+
+
+@dataclass
 class Compare(Expr):
     """``x == y`` / ``x != y`` -- boolean-valued, used in conditions."""
 
@@ -347,5 +369,5 @@ def walk_var_refs(expr: Expr):
     elif isinstance(expr, (SetOp, JoinOp, Compare)):
         yield from walk_var_refs(expr.left)
         yield from walk_var_refs(expr.right)
-    elif isinstance(expr, ReplaceOp):
+    elif isinstance(expr, (ReplaceOp, AggregateOp)):
         yield from walk_var_refs(expr.operand)

@@ -131,6 +131,7 @@ _EXPR_DESC = {
     ast.ConstRel: "Constant",
     ast.NewRel: "Literal_expression",
     ast.ReplaceOp: "Replace_expression",
+    ast.AggregateOp: "Aggregate_expression",
 }
 
 
@@ -371,6 +372,22 @@ class _Builder:
             for b in expr.right.schema:
                 if b not in set(expr.right_attrs):
                     self.graph.equal(rw[b], mapping[b])
+            return mapping
+        if isinstance(expr, ast.AggregateOp):
+            operand = self._expr(expr.operand, func)
+            wrapper = self._wrap(expr.operand, operand)
+            mapping = self.graph.add_owner(
+                "expr",
+                expr.expr_id,
+                list(expr.schema),
+                desc,
+                expr.pos,
+                self._attr_domains(expr.schema),
+            )
+            # Group-by columns survive the abstraction in place; the
+            # aggregated attribute is quantified away (no result node).
+            for attr in expr.schema:
+                self.graph.equal(wrapper[attr], mapping[attr])
             return mapping
         raise AssertionError(f"unhandled expression {type(expr).__name__}")
 

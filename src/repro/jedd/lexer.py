@@ -50,6 +50,7 @@ _SYMBOLS = [
     ",",
     ";",
     ":",
+    ".",
     "=",
     "|",
     "&",

@@ -32,7 +32,7 @@ def expr_uses(expr: ast.Expr) -> Set[str]:
         return set()
     if isinstance(expr, ast.SetOp):
         return expr_uses(expr.left) | expr_uses(expr.right)
-    if isinstance(expr, ast.ReplaceOp):
+    if isinstance(expr, (ast.ReplaceOp, ast.AggregateOp)):
         return expr_uses(expr.operand)
     if isinstance(expr, ast.JoinOp):
         return expr_uses(expr.left) | expr_uses(expr.right)

@@ -133,6 +133,15 @@ class Lowerer:
             return node, bindings
         if isinstance(expr, ast.JoinOp):
             return self._lower_join(expr)
+        if isinstance(expr, ast.AggregateOp):
+            node, bindings = self._branch_to_wrapper(expr.operand)
+            node = ir.aggregate(
+                node,
+                expr.agg,
+                attr=expr.attr,
+                group_by=tuple(expr.group_by),
+            )
+            return node, bindings
         if isinstance(expr, ast.ConstRel):
             raise JeddError(
                 f"relation constant needs a context at {expr.pos}"

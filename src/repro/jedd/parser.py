@@ -346,6 +346,14 @@ class _Parser:
         if tok.kind == "keyword" and tok.text == "new":
             return self.new_literal()
         if tok.kind == "ident":
+            # Contextual aggregate: "count"/"sum"/... are not reserved
+            # words; they start an aggregate only when followed by a
+            # token that can begin an expression (so a variable named
+            # ``count`` still works everywhere a lone identifier can).
+            if tok.text in ast.AGGREGATE_OPS and self._starts_expression(
+                self.peek(1)
+            ):
+                return self.aggregate_expr()
             self.advance()
             return ast.VarRef(tok.text, tok.pos)
         if tok.kind == "(":
@@ -355,6 +363,40 @@ class _Parser:
             return expr
         raise ParseError(
             f"expected an expression but found {tok.text!r} at {tok.pos}"
+        )
+
+    @staticmethod
+    def _starts_expression(tok: Token) -> bool:
+        return tok.kind in ("ident", "relconst", "(") or (
+            tok.kind == "keyword" and tok.text == "new"
+        )
+
+    def aggregate_expr(self) -> ast.AggregateOp:
+        """``AGGOP replace_expr ["." ident] ["group" "by" ident,...]``.
+
+        ``group`` and ``by`` are contextual identifiers, not keywords,
+        so attributes may still carry those names."""
+        agg_tok = self.advance()
+        operand = self.replace_expr()
+        attr = None
+        if self.at("."):
+            self.advance()
+            attr = self.expect("ident").text
+        group_by: List[str] = []
+        if (
+            self.at("ident")
+            and self.peek().text == "group"
+            and self.peek(1).kind == "ident"
+            and self.peek(1).text == "by"
+        ):
+            self.advance()  # "group"
+            self.advance()  # "by"
+            group_by.append(self.expect("ident").text)
+            while self.at(","):
+                self.advance()
+                group_by.append(self.expect("ident").text)
+        return ast.AggregateOp(
+            agg_tok.text, operand, attr, group_by, agg_tok.pos
         )
 
     def new_literal(self) -> ast.NewRel:

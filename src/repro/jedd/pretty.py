@@ -58,6 +58,13 @@ def pretty_expr(expr: ast.Expr) -> str:
         for rep in expr.replacements:
             reps.append(f"{rep.source}=>{' '.join(rep.targets)}".rstrip())
         return f"({', '.join(reps)}) {pretty_expr(expr.operand)}"
+    if isinstance(expr, ast.AggregateOp):
+        text = f"{expr.agg} {pretty_expr(expr.operand)}"
+        if expr.attr is not None:
+            text += f".{expr.attr}"
+        if expr.group_by:
+            text += " group by " + ", ".join(expr.group_by)
+        return f"({text})"
     if isinstance(expr, ast.Compare):
         return (
             f"{pretty_expr(expr.left)} {expr.op} {pretty_expr(expr.right)}"

@@ -312,7 +312,7 @@ class _Checker:
             self._check_monotone(
                 expr.right, targets, positive and expr.op != "-"
             )
-        elif isinstance(expr, ast.ReplaceOp):
+        elif isinstance(expr, (ast.ReplaceOp, ast.AggregateOp)):
             self._check_monotone(expr.operand, targets, positive)
         elif isinstance(expr, ast.JoinOp):
             self._check_monotone(expr.left, targets, positive)
@@ -340,6 +340,8 @@ class _Checker:
     def _check_compare(self, cond: ast.Compare, func: Optional[str]) -> None:
         left = self._check_expr(cond.left, func)
         right = self._check_expr(cond.right, func)
+        self._forbid_weighted(cond.left, "comparison operand")
+        self._forbid_weighted(cond.right, "comparison operand")
         if left is None and right is None:
             raise TypeError_(
                 "cannot compare two relation constants", cond.pos
@@ -362,6 +364,7 @@ class _Checker:
         expr: ast.Expr,
         pos: ast.Position,
     ) -> None:
+        self._forbid_weighted(expr, "a relation value")
         if schema is None:  # 0B/1B adopt the target's schema ([Assign])
             expr.schema = target
             return
@@ -410,10 +413,69 @@ class _Checker:
             return self._check_replace(expr, func)
         if isinstance(expr, ast.JoinOp):
             return self._check_join(expr, func)
+        if isinstance(expr, ast.AggregateOp):
+            return self._check_aggregate(expr, func)
         raise TypeError_(
             f"expression {type(expr).__name__} not allowed here",
             getattr(expr, "pos", ast.Position(0, 0)),
         )
+
+    def _forbid_weighted(self, expr: ast.Expr, what: str) -> None:
+        """Aggregates produce weighted relations (numeric MTBDD
+        terminals), which the boolean relational operators cannot
+        consume; they are printable but not composable."""
+        if getattr(expr, "weighted", False):
+            raise TypeError_(
+                f"weighted aggregate result cannot be used as {what}",
+                getattr(expr, "pos", ast.Position(0, 0)),
+            )
+
+    def _check_aggregate(
+        self, expr: ast.AggregateOp, func: Optional[str]
+    ) -> Tuple[str, ...]:
+        # [Aggregate]: the operand is an ordinary relation; the result
+        # maps each group-by assignment to a number.
+        if expr.agg not in ast.AGGREGATE_OPS:
+            raise TypeError_(f"unknown aggregate {expr.agg}", expr.pos)
+        operand = self._check_expr(expr.operand, func)
+        if operand is None:
+            raise TypeError_(
+                f"aggregate {expr.agg} of a relation constant", expr.pos
+            )
+        self._forbid_weighted(expr.operand, f"operand of {expr.agg}")
+        if expr.attr is None and expr.agg != "count":
+            raise TypeError_(
+                f"{expr.agg} needs an attribute "
+                f"('{expr.agg} e.attribute')",
+                expr.pos,
+            )
+        if expr.attr is not None and expr.attr not in operand:
+            raise TypeError_(
+                f"attribute {expr.attr} not in operand schema "
+                f"<{', '.join(operand)}>",
+                expr.pos,
+            )
+        seen = set()
+        for g in expr.group_by:
+            if g not in operand:
+                raise TypeError_(
+                    f"group-by attribute {g} not in operand schema "
+                    f"<{', '.join(operand)}>",
+                    expr.pos,
+                )
+            if g in seen:
+                raise TypeError_(
+                    f"group-by attribute {g} repeated", expr.pos
+                )
+            seen.add(g)
+            if g == expr.attr:
+                raise TypeError_(
+                    f"attribute {g} both aggregated and grouped by",
+                    expr.pos,
+                )
+        schema = self._register(expr, tuple(expr.group_by))
+        expr.weighted = True
+        return schema
 
     def _check_new(self, expr: ast.NewRel) -> Tuple[str, ...]:
         # [Literal]: attributes distinct and declared.
@@ -445,6 +507,8 @@ class _Checker:
         # assignment and comparison contexts, as in Figure 6).
         left = self._check_expr(expr.left, func)
         right = self._check_expr(expr.right, func)
+        self._forbid_weighted(expr.left, f"operand of {expr.op!r}")
+        self._forbid_weighted(expr.right, f"operand of {expr.op!r}")
         if left is None or right is None:
             raise TypeError_(
                 f"relation constant not allowed as operand of {expr.op!r}",
@@ -462,6 +526,7 @@ class _Checker:
         self, expr: ast.ReplaceOp, func: Optional[str]
     ) -> Tuple[str, ...]:
         operand = self._check_expr(expr.operand, func)
+        self._forbid_weighted(expr.operand, "attribute-manipulation operand")
         if operand is None:
             raise TypeError_(
                 "attribute manipulation of a relation constant", expr.pos
@@ -524,6 +589,8 @@ class _Checker:
         left = self._check_expr(expr.left, func)
         right = self._check_expr(expr.right, func)
         kind = "join" if expr.op == "><" else "compose"
+        self._forbid_weighted(expr.left, f"{kind} operand")
+        self._forbid_weighted(expr.right, f"{kind} operand")
         if left is None or right is None:
             raise TypeError_(
                 f"relation constant not allowed as {kind} operand", expr.pos

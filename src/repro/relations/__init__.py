@@ -9,6 +9,7 @@ reference-count-managing containers.
 from repro.relations.backend import (
     BDDBackend,
     DiagramBackend,
+    MultiTerminalBackend,
     PipelineStep,
     UnsupportedByBackend,
     ZDDBackend,
@@ -34,7 +35,13 @@ from repro.relations.io import (
     save_tsv,
     save_universe,
 )
-from repro.relations.relation import Relation, Schema
+from repro.relations.relation import (
+    AGGREGATE_OPS,
+    CsvFormatError,
+    Relation,
+    Schema,
+    WeightedRelation,
+)
 from repro.relations import ir
 from repro.relations.fixpoint import (
     Atom,
@@ -47,6 +54,7 @@ from repro.relations.policy import ExecutionPolicy
 from repro.relations.parallel import ParallelExecutor
 
 __all__ = [
+    "AGGREGATE_OPS",
     "Atom",
     "ParallelExecutor",
     "eval_rule_body",
@@ -56,11 +64,13 @@ __all__ = [
     "save_checkpoint_binary",
     "Attribute",
     "BDDBackend",
+    "CsvFormatError",
     "DiagramBackend",
     "Domain",
     "ExecutionPolicy",
     "FixpointEngine",
     "JeddError",
+    "MultiTerminalBackend",
     "PhysicalDomain",
     "PipelineStep",
     "Relation",
@@ -70,6 +80,7 @@ __all__ = [
     "Schema",
     "Universe",
     "UnsupportedByBackend",
+    "WeightedRelation",
     "ZDDBackend",
     "load_checkpoint",
     "load_tsv",

@@ -18,7 +18,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Sequence
 
-from repro.bdd import FALSE, TRUE, BDDManager, ZDDManager
+from repro.bdd import FALSE, TRUE, BDDManager, MTBDDManager, ZDDManager
 from repro.telemetry import traced as _traced
 from repro.bdd.zdd import BASE, EMPTY
 
@@ -26,10 +26,16 @@ __all__ = [
     "DiagramBackend",
     "BDDBackend",
     "ZDDBackend",
+    "MultiTerminalBackend",
     "PipelineStep",
     "UnsupportedByBackend",
+    "BOOLEAN_TERMINALS",
     "make_backend",
 ]
+
+#: The terminal domain every boolean backend reports: a diagram maps
+#: each tuple to 0 (absent) or 1 (present).
+BOOLEAN_TERMINALS = frozenset({0, 1})
 
 
 @dataclass(frozen=True)
@@ -82,6 +88,21 @@ class DiagramBackend:
 
     def __init__(self, manager) -> None:
         self.manager = manager
+
+    # Terminal domain -----------------------------------------------------
+    def terminal_domain(self) -> frozenset:
+        """Values a diagram may map tuples to.
+
+        Boolean backends report ``{0, 1}`` (membership); the
+        multi-terminal backend reports ``None``, meaning any number —
+        the relational layer uses this to decide whether weighted
+        relations can live on this backend.
+        """
+        return BOOLEAN_TERMINALS
+
+    def supports_weights(self) -> bool:
+        """Whether diagrams may carry non-boolean terminal values."""
+        return self.terminal_domain() is None
 
     # Constants ---------------------------------------------------------
     def empty(self) -> int:
@@ -409,8 +430,125 @@ class ZDDBackend(DiagramBackend):
         return self.manager.all_sat(a, levels)
 
 
+class MultiTerminalBackend(DiagramBackend):
+    """Adapter over :class:`repro.bdd.MTBDDManager` (ADD/MTBDD diagrams).
+
+    Boolean relations are the ``{0, 1}``-terminal special case, so the
+    whole relational operation set works unchanged — a join is still a
+    conjunction, projection is still ``or``-abstraction — and the
+    inherited generic :meth:`relprod_pipeline` keeps the boolean
+    semantics exactly (lowered to match/project/replace, unfused).  On
+    top of that the backend exposes the weighted operations the
+    aggregate executor needs: pointwise arithmetic combinators and
+    sum/max/min-abstraction.
+    """
+
+    name = "mtbdd"
+
+    def __init__(self, manager: MTBDDManager) -> None:
+        super().__init__(manager)
+
+    def terminal_domain(self):
+        return None  # any numeric terminal
+
+    def empty(self) -> int:
+        return FALSE
+
+    def full(self, levels: Sequence[int]) -> int:
+        return TRUE
+
+    def cube(self, assignment: Dict[int, bool]) -> int:
+        return self.manager.cube(assignment)
+
+    @_traced("mtbdd.union", "kernel")
+    def union(self, a: int, b: int) -> int:
+        return self.manager.apply_or(a, b)
+
+    @_traced("mtbdd.intersect", "kernel")
+    def intersect(self, a: int, b: int) -> int:
+        return self.manager.apply_and(a, b)
+
+    @_traced("mtbdd.diff", "kernel")
+    def diff(self, a: int, b: int) -> int:
+        return self.manager.apply_diff(a, b)
+
+    @_traced("mtbdd.project", "kernel")
+    def project(self, a: int, levels: Iterable[int]) -> int:
+        return self.manager.exist(a, levels)
+
+    @_traced("mtbdd.match", "kernel")
+    def match(self, a, b, cmp_levels, a_only_levels, b_only_levels, quantify):
+        if quantify:
+            return self.manager.and_exist(a, b, cmp_levels)
+        return self.manager.apply_and(a, b)
+
+    @_traced("mtbdd.replace", "kernel")
+    def replace(self, a: int, perm: Dict[int, int]) -> int:
+        return self.manager.replace(a, perm)
+
+    def equality(self, levels_a, levels_b, values) -> int:
+        node = TRUE
+        for la, lb in zip(levels_a, levels_b):
+            both = self.manager.apply_and(
+                self.manager.var(la), self.manager.var(lb)
+            )
+            neither = self.manager.apply_and(
+                self.manager.nvar(la), self.manager.nvar(lb)
+            )
+            node = self.manager.apply_and(
+                node, self.manager.apply_or(both, neither)
+            )
+        return node
+
+    @_traced("mtbdd.count", "kernel")
+    def count(self, a: int, levels: Sequence[int]) -> int:
+        return self.manager.sat_count(a, levels)
+
+    def all_sat(self, a, levels):
+        return self.manager.all_sat(a, levels)
+
+    # Weighted operations (only this backend provides them) --------------
+    def terminal(self, value) -> int:
+        """The constant diagram carrying ``value``."""
+        return self.manager.terminal(value)
+
+    def terminal_value(self, node: int):
+        """The number carried by a terminal node handle."""
+        return self.manager.value(node)
+
+    @_traced("mtbdd.apply", "kernel")
+    def apply(self, op: str, a: int, b: int) -> int:
+        """Pointwise combinator (``add``/``mul``/``max``/``min``/...)."""
+        return self.manager.apply(op, a, b)
+
+    @_traced("mtbdd.ite", "kernel")
+    def ite(self, f: int, g: int, h: int) -> int:
+        """Pointwise if-then-else with a boolean guard diagram."""
+        return self.manager.ite(f, g, h)
+
+    @_traced("mtbdd.abstract", "kernel")
+    def abstract(self, op: str, a: int, levels: Iterable[int]) -> int:
+        """Quantify levels by ``or``/``add``/``max``/``min``."""
+        return self.manager.abstract(op, a, levels)
+
+    @_traced("mtbdd.weighted_total", "kernel")
+    def weighted_total(self, a: int, levels: Sequence[int]):
+        """Sum of the diagram over all assignments of ``levels``."""
+        return self.manager.weighted_total(a, levels)
+
+    def all_terminals(self, a, levels):
+        """Iterate ``(assignment, value)`` pairs with non-zero value."""
+        return self.manager.all_terminals(a, levels)
+
+    def evaluate(self, a: int, assignment: Dict[int, bool]):
+        """Terminal value of one complete assignment (weight lookup)."""
+        return self.manager.evaluate(a, assignment)
+
+
 def _backend_for(manager) -> DiagramBackend:
     """Wrap a manager in the matching adapter (internal)."""
+    if isinstance(manager, MTBDDManager):
+        return MultiTerminalBackend(manager)
     if isinstance(manager, BDDManager):
         return BDDBackend(manager)
     if isinstance(manager, ZDDManager):

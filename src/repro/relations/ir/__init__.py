@@ -29,6 +29,8 @@ from repro.relations.ir.execute import (
 )
 from repro.relations.ir.explain import format_reports, static_reports
 from repro.relations.ir.nodes import (
+    AGGREGATES,
+    Aggregate,
     Copy,
     Diff,
     Filter,
@@ -41,6 +43,7 @@ from repro.relations.ir.nodes import (
     Rename,
     Replace,
     Union,
+    aggregate,
     copy,
     diff,
     filter,
@@ -61,11 +64,14 @@ from repro.relations.ir.planner import (
     PlanStep,
     ProductPlan,
     RulePlan,
+    estimate_aggregate,
     plan_product,
     plan_rule,
 )
 
 __all__ = [
+    "AGGREGATES",
+    "Aggregate",
     "Copy",
     "Diff",
     "Estimate",
@@ -85,9 +91,11 @@ __all__ = [
     "Replace",
     "RulePlan",
     "Union",
+    "aggregate",
     "copy",
     "default_weight",
     "diff",
+    "estimate_aggregate",
     "evaluate",
     "filter",
     "format_reports",

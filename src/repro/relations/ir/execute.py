@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro import telemetry as _telemetry
 from repro.relations.domain import JeddError, Universe
 from repro.relations.ir.nodes import (
+    Aggregate,
     Copy,
     Diff,
     Filter,
@@ -45,7 +46,12 @@ from repro.relations.ir.nodes import (
     Replace,
     Union,
 )
-from repro.relations.ir.planner import Estimate, Planner, ProductPlan
+from repro.relations.ir.planner import (
+    Estimate,
+    Planner,
+    ProductPlan,
+    estimate_aggregate,
+)
 from repro.relations.relation import Relation
 
 __all__ = [
@@ -362,4 +368,28 @@ def _eval(node: Node, ctx: EvalContext) -> Relation:
         return evaluate(node.left, ctx) - evaluate(node.right, ctx)
     if isinstance(node, Filter):
         return evaluate(node.child, ctx).select(dict(node.values))
+    if isinstance(node, Aggregate):
+        child = evaluate(node.child, ctx)
+        est = estimate_aggregate(
+            Estimate(float(child.size()), float(child.node_count())),
+            node.group_by,
+            ctx.weight,
+        )
+        start = perf_counter()
+        result = child.aggregate(
+            node.agg, node.attr, list(node.group_by)
+        )
+        tel = _telemetry._active
+        if tel.enabled:
+            tel.add_complete(
+                "plan.aggregate",
+                perf_counter() - start,
+                cat="planner",
+                label=ctx.label,
+                agg=node.agg,
+                group_by=list(node.group_by),
+                est_card=est.card,
+                actual_card=float(result.size()),
+            )
+        return result
     raise JeddError(f"cannot evaluate {type(node).__name__}")

@@ -16,6 +16,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.relations.ir.execute import PlanReport, _part_label
 from repro.relations.ir.nodes import (
+    Aggregate,
     Copy,
     Diff,
     Filter,
@@ -144,6 +145,15 @@ def static_reports(
         if isinstance(n, Diff):
             a, b = est(n.left), est(n.right)
             return Estimate(a.card, min(a.nodes + b.nodes, _CAP))
+        if isinstance(n, Aggregate):
+            # One weighted row per distinct group tuple: capped by the
+            # group columns' domain product and by the operand's own
+            # cardinality (grouping never multiplies rows).
+            child = est(n.child)
+            card = 1.0
+            for a in sorted(n.group_by):
+                card = min(card * max(weight(a), 1.0), _CAP)
+            return Estimate(min(child.card, card), child.nodes)
         raise TypeError(f"cannot estimate {type(n).__name__}")
 
     return est(node), reports

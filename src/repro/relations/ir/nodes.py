@@ -34,7 +34,11 @@ needs:
 ``union`` / ``intersect`` / ``diff``
     the set operations;
 ``filter``
-    selection by fixed attribute values (section 2.2.4).
+    selection by fixed attribute values (section 2.2.4);
+``aggregate``
+    grouped ``count/sum/max/min/mean`` producing a weighted relation
+    (the quantitative extension — executed via the multi-terminal
+    backend's abstraction operators where available).
 """
 
 from __future__ import annotations
@@ -56,6 +60,8 @@ __all__ = [
     "Intersect",
     "Diff",
     "Filter",
+    "Aggregate",
+    "AGGREGATES",
     "leaf",
     "match",
     "positional_join",
@@ -68,8 +74,12 @@ __all__ = [
     "intersect",
     "diff",
     "filter",
+    "aggregate",
     "to_source",
 ]
+
+#: The aggregate operations :class:`Aggregate` understands.
+AGGREGATES = ("count", "sum", "max", "min", "mean")
 
 
 class Node:
@@ -342,6 +352,64 @@ class Diff(_SetOp):
     _op = "diff"
 
 
+class Aggregate(Node):
+    """Grouped aggregation: ``agg`` over ``attr`` per distinct
+    ``group_by`` tuple, evaluating to a
+    :class:`~repro.relations.relation.WeightedRelation` keyed by the
+    group columns.  ``attr`` is ``None`` only for ``count``, which then
+    counts distinct non-group tuples.
+
+    The node's ``attrs`` are the group columns: a weighted result never
+    feeds relational operators (the typechecker forbids it), so the
+    attribute set only describes the result's key schema.  Build these
+    with the :func:`aggregate` constructor, which projects the operand
+    onto the needed attributes first — that projection merges into a
+    child product's ``quantify`` set, so the planner schedules the
+    dedup exactly where the unused attributes die (the aggregate sits
+    *after* projection pushdown by construction)."""
+
+    __slots__ = ("child", "agg", "attr", "group_by")
+
+    def __init__(
+        self,
+        child: Node,
+        agg: str,
+        attr: Optional[str],
+        group_by: Sequence[str],
+    ) -> None:
+        if agg not in AGGREGATES:
+            raise JeddError(
+                f"unknown aggregate {agg!r} (expected one of "
+                f"{', '.join(AGGREGATES)})"
+            )
+        self.child = child
+        self.agg = agg
+        self.attr = attr
+        self.group_by = tuple(group_by)
+        if len(set(self.group_by)) != len(self.group_by):
+            raise JeddError("aggregate: repeated group-by attribute")
+        missing = frozenset(self.group_by) - child.attrs
+        if missing:
+            raise JeddError(
+                f"aggregate: {sorted(missing)} not in the child schema"
+            )
+        if attr is not None:
+            if attr not in child.attrs:
+                raise JeddError(
+                    f"aggregate: {attr!r} not in the child schema"
+                )
+            if attr in self.group_by:
+                raise JeddError(
+                    f"aggregate: {attr!r} cannot be both aggregated "
+                    "and grouped"
+                )
+        elif agg != "count":
+            raise JeddError(f"aggregate {agg!r} needs an attribute")
+        self.attrs = frozenset(self.group_by)
+        self.slots = child.slots
+        self.key = ("aggregate", child.key, agg, attr, self.group_by)
+
+
 class Filter(Node):
     """Selection: keep tuples whose attributes carry fixed values."""
 
@@ -511,6 +579,24 @@ def filter(child: Node, values: Mapping[str, object]) -> Node:  # noqa: A001
     return Filter(child, values)
 
 
+def aggregate(
+    child: Node,
+    agg: str,
+    attr: Optional[str] = None,
+    group_by: Sequence[str] = (),
+) -> Aggregate:
+    """Build an :class:`Aggregate`, first projecting ``child`` onto the
+    attributes the aggregate reads (``{attr} | group_by``; everything
+    for a bare ``count``).  The :func:`project` wrapper pushes that
+    quantification into a child product, so the planner dedups at the
+    earliest step and the aggregate consumes the narrowest relation."""
+    group_by = tuple(group_by)
+    if attr is not None:
+        needed = frozenset(group_by) | {attr}
+        child = project(child, child.attrs - needed)
+    return Aggregate(child, agg, attr, group_by)
+
+
 # ----------------------------------------------------------------------
 # Serialization to Python source (for the code generator)
 # ----------------------------------------------------------------------
@@ -569,5 +655,11 @@ def to_source(node: Node, alias: str = "_ir") -> str:
         return (
             f"{alias}.filter({to_source(node.child, alias)}, "
             f"{_dict_src(node.values)})"
+        )
+    if isinstance(node, Aggregate):
+        return (
+            f"{alias}.aggregate({to_source(node.child, alias)}, "
+            f"{node.agg!r}, attr={node.attr!r}, "
+            f"group_by={node.group_by!r})"
         )
     raise JeddError(f"cannot serialize {type(node).__name__}")

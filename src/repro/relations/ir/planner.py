@@ -51,6 +51,7 @@ __all__ = [
     "ProductPlan",
     "RulePlan",
     "Planner",
+    "estimate_aggregate",
     "plan_product",
     "plan_rule",
 ]
@@ -142,6 +143,28 @@ def _join_est(
     bits = sum(_bits(weight(a)) for a in (attrs_a | attrs_b))
     nodes = min(nodes_a * nodes_b, max(card, 1.0) * max(bits, 1.0), _CAP)
     return card, nodes, out_attrs
+
+
+def estimate_aggregate(
+    input_est: Estimate,
+    group_by: Sequence[str],
+    weight: Callable[[str], float],
+) -> Estimate:
+    """Cost an aggregate over a planned input.
+
+    The result has one row per distinct group tuple, so its cardinality
+    is the input cardinality capped by the product of the group
+    attributes' distinct-value weights (an empty ``group_by`` means one
+    global row).  The dominant kernel cost is the abstraction sweep over
+    the input diagram, so the node estimate carries the input's node
+    count through: an aggregate never enlarges its operand.  The
+    aggregate itself is placed by construction — after projection
+    pushdown — so only this result estimate matters to enclosing plans.
+    """
+    card = _cap_card(max(input_est.card, 1.0), group_by, weight)
+    bits = sum(_bits(weight(a)) for a in group_by)
+    nodes = min(input_est.nodes, max(card, 1.0) * max(bits, 1.0), _CAP)
+    return Estimate(card, nodes)
 
 
 def plan_product(

@@ -56,7 +56,41 @@ from repro.relations.domain import (
     Universe,
 )
 
-__all__ = ["Relation", "Schema"]
+__all__ = [
+    "Relation",
+    "Schema",
+    "WeightedRelation",
+    "CsvFormatError",
+    "AGGREGATE_OPS",
+]
+
+#: Aggregate operations :meth:`Relation.aggregate` understands.
+AGGREGATE_OPS = ("count", "sum", "max", "min", "mean")
+
+
+class CsvFormatError(JeddError):
+    """Malformed rows in a CSV fact file.
+
+    Raised by :meth:`Relation.from_csv` with a line-numbered report of
+    every bad row instead of failing on the first one; ``errors`` holds
+    ``(line_number, reason)`` pairs for programmatic use.
+    """
+
+    _SHOWN = 20
+
+    def __init__(self, source: str, errors: Sequence[Tuple[int, str]]) -> None:
+        self.source = source
+        self.errors = list(errors)
+        lines = [
+            f"{source}: {len(self.errors)} malformed row(s):"
+        ]
+        for line_no, reason in self.errors[: self._SHOWN]:
+            lines.append(f"  line {line_no}: {reason}")
+        if len(self.errors) > self._SHOWN:
+            lines.append(
+                f"  ... and {len(self.errors) - self._SHOWN} more"
+            )
+        super().__init__("\n".join(lines))
 
 
 def _free_physdom(
@@ -421,6 +455,110 @@ class Relation:
                     universe.encode_bits(pd, attr.domain.intern(obj))
                 )
             node = backend.union(node, backend.cube(assignment))
+        return cls(universe, schema, node, backend)
+
+    @classmethod
+    def from_csv(
+        cls,
+        universe: Universe,
+        source,
+        attributes: Sequence[Attribute | str],
+        physdoms: Optional[Sequence[PhysicalDomain | str]] = None,
+        *,
+        delimiter: str = ",",
+        has_header: bool = False,
+        converters: Optional[Dict[str, "callable"]] = None,
+        on_malformed: str = "error",
+    ) -> "Relation":
+        """Load a relation from a CSV fact file, interning objects.
+
+        ``source`` is a path or an open text file.  Fields become the
+        tuple objects directly (stripped strings), optionally passed
+        through per-attribute ``converters`` (e.g. ``{"weight": int}``).
+        With ``has_header`` the first row names the columns and they may
+        appear in any order; otherwise columns follow ``attributes``.
+
+        Malformed rows — wrong field count, converter failures, domain
+        overflow — are collected and reported *with line numbers* in a
+        single :class:`CsvFormatError` (``on_malformed="error"``, the
+        default), or skipped (``"skip"``).  Blank lines are ignored.
+        """
+        import csv as _csv
+
+        if on_malformed not in ("error", "skip"):
+            raise JeddError(
+                f"on_malformed must be 'error' or 'skip', "
+                f"not {on_malformed!r}"
+            )
+        schema = cls._make_schema(universe, attributes, physdoms)
+        names = [attr.name for attr, _ in schema.pairs]
+        convs = [(converters or {}).get(n) for n in names]
+        if hasattr(source, "read"):
+            fp = source
+            close = False
+            label = getattr(source, "name", "<csv>")
+        else:
+            fp = open(source, "r", newline="")
+            close = True
+            label = str(source)
+        backend = _backend_for(universe.manager)
+        node = backend.empty()
+        errors: List[Tuple[int, str]] = []
+        try:
+            reader = _csv.reader(fp, delimiter=delimiter)
+            order: Optional[List[int]] = None
+            for line_no, row in enumerate(reader, start=1):
+                if has_header and line_no == 1:
+                    header = [f.strip() for f in row]
+                    missing = [n for n in names if n not in header]
+                    if missing:
+                        raise JeddError(
+                            f"{label}: header {header} is missing "
+                            f"column(s) {missing}"
+                        )
+                    order = [header.index(n) for n in names]
+                    continue
+                if not row or all(not f.strip() for f in row):
+                    continue
+                if order is not None:
+                    if max(order) >= len(row):
+                        errors.append(
+                            (line_no,
+                             f"expected at least {max(order) + 1} "
+                             f"field(s), got {len(row)}")
+                        )
+                        continue
+                    fields = [row[i] for i in order]
+                elif len(row) != len(names):
+                    errors.append(
+                        (line_no,
+                         f"expected {len(names)} field(s), got {len(row)}")
+                    )
+                    continue
+                else:
+                    fields = list(row)
+                assignment: Dict[int, bool] = {}
+                try:
+                    for (attr, pd), conv, field in zip(
+                        schema.pairs, convs, fields
+                    ):
+                        obj = field.strip()
+                        if conv is not None:
+                            obj = conv(obj)
+                        assignment.update(
+                            universe.encode_bits(
+                                pd, attr.domain.intern(obj)
+                            )
+                        )
+                except (JeddError, ValueError, TypeError) as exc:
+                    errors.append((line_no, str(exc)))
+                    continue
+                node = backend.union(node, backend.cube(assignment))
+        finally:
+            if close:
+                fp.close()
+        if errors and on_malformed == "error":
+            raise CsvFormatError(label, errors)
         return cls(universe, schema, node, backend)
 
     # ------------------------------------------------------------------
@@ -911,12 +1049,22 @@ class Relation:
     # Extraction (section 2.3)
     # ------------------------------------------------------------------
 
-    def size(self) -> int:
-        """Number of tuples in the relation."""
+    def count(self) -> int:
+        """Exact tuple cardinality via the kernel's model counter.
+
+        Satcount walks the diagram once — O(nodes) — where materialising
+        :meth:`tuples` is O(result).  Prefer this (or :meth:`size`,
+        its alias) over ``len(list(r.tuples()))`` for cardinality
+        checks.
+        """
         return self.backend.count(self.node, self.schema.levels())
 
+    def size(self) -> int:
+        """Number of tuples in the relation (alias of :meth:`count`)."""
+        return self.count()
+
     def __len__(self) -> int:
-        return self.size()
+        return self.count()
 
     def tuples(self) -> Iterator[Tuple[Hashable, ...]]:
         """Iterate tuples as object tuples in schema order."""
@@ -961,6 +1109,179 @@ class Relation:
         )
 
     # ------------------------------------------------------------------
+    # Aggregates (quantitative extension; ROADMAP "MTBDD/ADD backend")
+    # ------------------------------------------------------------------
+
+    @_traced("relation.aggregate", "relation")
+    def aggregate(
+        self,
+        agg: str,
+        attr: Optional[str] = None,
+        group_by: Sequence[str] = (),
+    ) -> "WeightedRelation":
+        """Grouped aggregation, the codd-style ``count/sum/max/min/mean``.
+
+        The relation is first projected onto ``{attr} | group_by``
+        (boolean dedup, so repeated source tuples never double-count),
+        then per distinct ``group_by`` tuple:
+
+        ``count``
+            number of distinct ``attr`` values (all non-group attributes
+            when ``attr`` is omitted);
+        ``sum`` / ``max`` / ``min``
+            over the numeric objects of ``attr``;
+        ``mean``
+            ``sum / count`` (Python true division, identical in both
+            execution paths).
+
+        On the multi-terminal backend the grouping runs as diagram
+        abstraction — ``count``/``sum`` are ``add``-quantification of
+        the (value-weighted) relation over the non-group levels,
+        ``max``/``min`` their idempotent counterparts; other backends
+        fall back to tuple materialisation with identical results.
+        Returns a :class:`WeightedRelation` keyed by the group columns.
+        """
+        if agg not in AGGREGATE_OPS:
+            raise JeddError(
+                f"unknown aggregate {agg!r} (expected one of "
+                f"{', '.join(AGGREGATE_OPS)})"
+            )
+        group_by = list(group_by)
+        if len(set(group_by)) != len(group_by):
+            raise JeddError("aggregate: repeated group-by attribute")
+        for name in group_by:
+            if name not in self.schema:
+                raise JeddError(
+                    f"aggregate: no attribute {name!r} in schema"
+                )
+        if attr is not None:
+            if attr not in self.schema:
+                raise JeddError(
+                    f"aggregate: no attribute {attr!r} in schema"
+                )
+            if attr in group_by:
+                raise JeddError(
+                    f"aggregate: {attr!r} cannot be both aggregated "
+                    "and grouped"
+                )
+        elif agg != "count":
+            raise JeddError(f"aggregate {agg!r} needs an attribute")
+        needed = set(group_by)
+        needed |= {attr} if attr is not None else set(self.schema.names())
+        base = self.project_onto(*needed)
+        result_schema = Schema(
+            [
+                (base.schema.attribute(n), base.schema.physdom(n))
+                for n in group_by
+            ]
+        )
+        if self.backend.supports_weights():
+            weights = base._aggregate_diagram(agg, attr, group_by)
+        else:
+            weights = base._aggregate_tuples(agg, attr, group_by)
+        return WeightedRelation(
+            self.universe, result_schema, weights=weights
+        )
+
+    def _aggregate_diagram(self, agg, attr, group_by):
+        """Grouped aggregation via MTBDD abstraction operators."""
+        be = self.backend
+        u = self.universe
+        group_levels = [
+            l for n in group_by for l in self.schema.physdom(n).levels
+        ]
+        group_set = set(group_levels)
+        other_levels = [
+            l for l in self.schema.levels() if l not in group_set
+        ]
+        count_node = None
+        value_node = None
+        if agg in ("count", "mean"):
+            count_node = be.abstract("add", self.node, other_levels)
+        if attr is not None and agg != "count":
+            pd = self.schema.physdom(attr)
+            dom = self.schema.attribute(attr).domain
+            values = be.empty()
+            for idx in dom.values():
+                obj = dom.object_of(idx)
+                if not isinstance(obj, (int, float)):
+                    raise JeddError(
+                        f"aggregate {agg!r}: attribute {attr!r} holds "
+                        f"non-numeric object {obj!r}"
+                    )
+                weighted_cube = be.apply(
+                    "mul",
+                    be.cube(u.encode_bits(pd, idx)),
+                    be.terminal(obj),
+                )
+                values = be.apply("add", values, weighted_cube)
+            if agg in ("sum", "mean"):
+                masked = be.ite(self.node, values, be.terminal(0))
+                value_node = be.abstract("add", masked, other_levels)
+            else:
+                # Absent tuples must not win the max/min: mask them to
+                # the operation's identity; absent *groups* are never
+                # enumerated, so the sentinel is never read.
+                sentinel = float("-inf") if agg == "max" else float("inf")
+                masked = be.ite(self.node, values, be.terminal(sentinel))
+                value_node = be.abstract(agg, masked, other_levels)
+        group_node = be.abstract("or", self.node, other_levels)
+        group_pairs = [
+            (self.schema.attribute(n), self.schema.physdom(n))
+            for n in group_by
+        ]
+        weights = {}
+        for assignment in be.all_sat(group_node, group_levels):
+            key = tuple(
+                attr_.domain.object_of(u.decode_bits(pd_, assignment))
+                for attr_, pd_ in group_pairs
+            )
+            if agg == "count":
+                weights[key] = be.evaluate(count_node, assignment)
+            elif agg == "mean":
+                weights[key] = be.evaluate(
+                    value_node, assignment
+                ) / be.evaluate(count_node, assignment)
+            else:
+                weights[key] = be.evaluate(value_node, assignment)
+        return weights
+
+    def _aggregate_tuples(self, agg, attr, group_by):
+        """Portable fallback: materialise tuples and aggregate in dicts
+        (this is also, verbatim, the differential tests' oracle
+        semantics)."""
+        names = list(self.schema.names())
+        gidx = [names.index(n) for n in group_by]
+        aidx = names.index(attr) if attr is not None else None
+        groups: Dict[tuple, list] = {}
+        for row in self.tuples():
+            key = tuple(row[i] for i in gidx)
+            groups.setdefault(key, []).append(row)
+        weights = {}
+        for key, rows in groups.items():
+            if agg == "count":
+                weights[key] = len(rows)
+                continue
+            values = []
+            for row in rows:
+                obj = row[aidx]
+                if not isinstance(obj, (int, float)):
+                    raise JeddError(
+                        f"aggregate {agg!r}: attribute {attr!r} holds "
+                        f"non-numeric object {obj!r}"
+                    )
+                values.append(obj)
+            if agg == "sum":
+                weights[key] = sum(values)
+            elif agg == "max":
+                weights[key] = max(values)
+            elif agg == "min":
+                weights[key] = min(values)
+            else:  # mean
+                weights[key] = sum(values) / len(values)
+        return weights
+
+    # ------------------------------------------------------------------
     # Profiling helpers
     # ------------------------------------------------------------------
 
@@ -971,3 +1292,252 @@ class Relation:
     def shape(self) -> List[int]:
         """Per-level node counts (the profiler's BDD shape, section 4.3)."""
         return self.backend.shape(self.node)
+
+
+class WeightedRelation:
+    """A relation mapping tuples to numeric weights.
+
+    Two interchangeable representations behind one API: *diagram-backed*
+    (an MTBDD whose terminals carry the weights — only on the
+    multi-terminal backend) and *table-backed* (a plain dict, the
+    portable fallback and the form aggregate results take).  A weight of
+    0 means the tuple is absent — the diagram encoding cannot
+    distinguish the two, so the table form drops zero net weights for
+    consistency.
+
+    Build one with :meth:`from_weighted_tuples` (repeated tuples sum
+    their weights) or receive one from :meth:`Relation.aggregate`.
+    """
+
+    __slots__ = (
+        "universe", "schema", "backend", "node", "_weights", "_released"
+    )
+
+    def __init__(
+        self,
+        universe: Universe,
+        schema: Schema,
+        node: Optional[int] = None,
+        weights: Optional[Dict[tuple, object]] = None,
+        backend: Optional[DiagramBackend] = None,
+    ) -> None:
+        if (node is None) == (weights is None):
+            raise JeddError(
+                "WeightedRelation needs exactly one of node/weights"
+            )
+        self.universe = universe
+        self.schema = schema
+        self.backend = backend or _backend_for(universe.manager)
+        self._released = False
+        if node is not None:
+            if not self.backend.supports_weights():
+                raise JeddError(
+                    f"the {self.backend.name} backend cannot hold "
+                    "weighted diagrams (open the universe with "
+                    "backend='mtbdd')"
+                )
+            self.node = self.backend.ref(node)
+            self._weights = None
+        else:
+            self.node = None
+            self._weights = {
+                tuple(k): w for k, w in weights.items() if w != 0
+            }
+        universe._note_relation(self)
+
+    def __del__(self) -> None:
+        self.dispose()
+
+    def dispose(self) -> None:
+        """Drop the diagram reference (idempotent; no-op on the table
+        representation)."""
+        if not self._released:
+            self._released = True
+            if self.node is not None:
+                try:
+                    self.backend.deref(self.node)
+                except Exception:
+                    pass  # interpreter shutdown may have torn down the manager
+
+    @property
+    def disposed(self) -> bool:
+        return self._released
+
+    def __enter__(self) -> "WeightedRelation":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.dispose()
+        return False
+
+    @classmethod
+    def from_weighted_tuples(
+        cls,
+        universe: Universe,
+        attributes: Sequence[Attribute | str],
+        rows: Iterable[Sequence],
+        physdoms: Optional[Sequence[PhysicalDomain | str]] = None,
+    ) -> "WeightedRelation":
+        """Bulk constructor: each row is ``(*objects, weight)``.
+
+        Repeated tuples sum their weights; tuples whose net weight is 0
+        are dropped.  On the multi-terminal backend the result is
+        diagram-backed (built with ``cube * weight`` summed via the
+        ``add`` combinator); elsewhere it is table-backed.
+        """
+        schema = Relation._make_schema(universe, attributes, physdoms)
+        backend = _backend_for(universe.manager)
+        acc: Dict[tuple, object] = {}
+        for row in rows:
+            if len(row) != len(schema) + 1:
+                raise JeddError(
+                    f"weighted row {tuple(row)!r} does not match schema "
+                    f"{schema!r} plus a weight"
+                )
+            *objs, weight = row
+            if isinstance(weight, bool) or not isinstance(
+                weight, (int, float)
+            ):
+                raise JeddError(
+                    f"weight {weight!r} is not a number"
+                )
+            key = tuple(objs)
+            acc[key] = acc.get(key, 0) + weight
+        acc = {k: w for k, w in acc.items() if w != 0}
+        if not backend.supports_weights():
+            # Intern eagerly so lookups behave identically to the
+            # diagram path.
+            for key in acc:
+                for (attr, _), obj in zip(schema.pairs, key):
+                    attr.domain.intern(obj)
+            return cls(universe, schema, weights=acc, backend=backend)
+        node = backend.empty()
+        for key, weight in acc.items():
+            assignment: Dict[int, bool] = {}
+            for (attr, pd), obj in zip(schema.pairs, key):
+                assignment.update(
+                    universe.encode_bits(pd, attr.domain.intern(obj))
+                )
+            node = backend.apply(
+                "add",
+                node,
+                backend.apply(
+                    "mul", backend.cube(assignment),
+                    backend.terminal(weight),
+                ),
+            )
+        return cls(universe, schema, node=node, backend=backend)
+
+    # ------------------------------------------------------------------
+    # Lookup and enumeration
+    # ------------------------------------------------------------------
+
+    def weight(self, *objs):
+        """The weight of one tuple (0 when absent)."""
+        if len(objs) == 1 and isinstance(objs[0], tuple) and len(
+            self.schema
+        ) != 1:
+            objs = objs[0]
+        if len(objs) != len(self.schema):
+            raise JeddError(
+                f"weight() takes {len(self.schema)} object(s), "
+                f"got {len(objs)}"
+            )
+        if self._weights is not None:
+            return self._weights.get(tuple(objs), 0)
+        assignment: Dict[int, bool] = {}
+        for (attr, pd), obj in zip(self.schema.pairs, objs):
+            if obj not in attr.domain:
+                return 0
+            assignment.update(
+                self.universe.encode_bits(pd, attr.domain.index_of(obj))
+            )
+        return self.backend.evaluate(self.node, assignment)
+
+    def items(self) -> Iterator[Tuple[tuple, object]]:
+        """Iterate ``(tuple, weight)`` pairs (non-zero weights only)."""
+        if self._weights is not None:
+            yield from self._weights.items()
+            return
+        levels = self.schema.levels()
+        for assignment, value in self.backend.all_terminals(
+            self.node, levels
+        ):
+            key = []
+            for attr, pd in self.schema.pairs:
+                idx = self.universe.decode_bits(pd, assignment)
+                key.append(attr.domain.object_of(idx))
+            yield tuple(key), value
+
+    def tuples(self) -> Iterator[tuple]:
+        """Iterate the tuples carrying non-zero weight."""
+        return (key for key, _ in self.items())
+
+    def as_dict(self) -> Dict[tuple, object]:
+        """The full tuple->weight mapping as a plain dict."""
+        return dict(self.items())
+
+    def size(self) -> int:
+        """Number of tuples with non-zero weight."""
+        if self._weights is not None:
+            return len(self._weights)
+        return sum(1 for _ in self.items())
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def total(self):
+        """Sum of all weights.
+
+        Diagram-backed relations compute this as one
+        ``add``-abstraction over all used levels (the satcount
+        generalisation) — no tuple materialisation.
+        """
+        if self._weights is not None:
+            return sum(self._weights.values())
+        return self.backend.weighted_total(
+            self.node, self.schema.levels()
+        )
+
+    def to_relation(self, threshold=0) -> Relation:
+        """The boolean relation of tuples with ``weight > threshold``."""
+        rows = [key for key, w in self.items() if w > threshold]
+        return Relation.from_tuples(
+            self.universe,
+            [attr for attr, _ in self.schema.pairs],
+            rows,
+            [pd for _, pd in self.schema.pairs],
+        )
+
+    def node_count(self) -> int:
+        """Diagram nodes (table-backed relations report 0)."""
+        if self.node is None:
+            return 0
+        return self.backend.node_count(self.node)
+
+    def __str__(self) -> str:
+        """Tabular rendering with a trailing weight column."""
+        names = list(self.schema.names()) + ["weight"]
+        rows = [
+            tuple(str(v) for v in key) + (str(w),)
+            for key, w in self.items()
+        ]
+        rows.sort()
+        widths = [
+            max(len(n), *(len(r[i]) for r in rows)) if rows else len(n)
+            for i, n in enumerate(names)
+        ]
+        header = "  ".join(n.ljust(w) for n, w in zip(names, widths))
+        lines = [header, "-" * len(header)]
+        for row in rows:
+            lines.append(
+                "  ".join(v.ljust(w) for v, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        kind = "diagram" if self.node is not None else "table"
+        return (
+            f"WeightedRelation({self.schema!r}, {self.size()} tuples, "
+            f"{kind}-backed)"
+        )

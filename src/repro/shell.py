@@ -36,7 +36,14 @@ from repro import telemetry
 from repro.jedd import ast
 from repro.jedd.lexer import LexError
 from repro.jedd.parser import ParseError, parse_expression
-from repro.relations import JeddError, Relation, Universe, ir
+from repro.relations import (
+    CsvFormatError,
+    JeddError,
+    Relation,
+    Universe,
+    WeightedRelation,
+    ir,
+)
 
 __all__ = ["RelationalShell", "run_script", "main"]
 
@@ -67,6 +74,8 @@ class RelationalShell(cmd.Cmd):
         #: the query planner all shell expressions evaluate through;
         #: reset on `finalize` (plans are per-universe).
         self._planner = ir.Planner()
+        #: sequence number for `agg`'s auto-named results (a1, a2, ...).
+        self._agg_counter = 0
         #: background analysis service started by `serve`, if any.
         self._service = None
         #: client connection opened by `connect`, if any.
@@ -100,6 +109,10 @@ class RelationalShell(cmd.Cmd):
         stripped = line.lstrip()
         if stripped.startswith(":") and not stripped.startswith("::"):
             line = stripped[1:]
+        # cmd.Cmd splits command words at non-identifier characters, so
+        # the hyphenated spelling is mapped to do_load_facts here.
+        if line.lstrip().startswith("load-facts"):
+            line = line.lstrip().replace("load-facts", "load_facts", 1)
         try:
             return super().onecmd(line)
         except (_ShellError, JeddError, ParseError, LexError) as err:
@@ -127,10 +140,11 @@ class RelationalShell(cmd.Cmd):
     # -- declaration commands ------------------------------------------------
 
     def do_backend(self, arg: str) -> None:
-        """backend bdd|zdd -- choose the diagram engine (before finalize)."""
+        """backend bdd|zdd|mtbdd -- choose the diagram engine (before
+        finalize); mtbdd additionally supports weighted aggregates."""
         name = arg.strip()
-        if name not in ("bdd", "zdd"):
-            raise _ShellError("backend must be 'bdd' or 'zdd'")
+        if name not in ("bdd", "zdd", "mtbdd"):
+            raise _ShellError("backend must be 'bdd', 'zdd', or 'mtbdd'")
         self._need_unfinalized()
         self.backend = name
         self._say(f"backend set to {name}")
@@ -352,8 +366,40 @@ class RelationalShell(cmd.Cmd):
         )
 
     def do_print(self, arg: str) -> None:
-        """print EXPR -- show a relation's tuples."""
+        """print EXPR -- show a relation's tuples (aggregate
+        expressions like `count pt.p group by v` print their weights)."""
         self._say(str(self._eval(arg.strip())))
+
+    def do_agg(self, arg: str) -> None:
+        """agg AGG EXPR[.attr] [group by a, ...] -- evaluate an
+        aggregate and keep the weighted result under an auto-generated
+        name (a1, a2, ..., in the codd style)."""
+        source = arg.strip()
+        if not source:
+            raise _ShellError(
+                "usage: agg AGG EXPR[.attr] [group by a, ...]"
+            )
+        expr = parse_expression(source)
+        if not isinstance(expr, ast.AggregateOp):
+            raise _ShellError(
+                "agg needs an aggregate expression "
+                "(count/sum/max/min/mean)"
+            )
+        result = self._eval_ast(expr)
+        self._agg_counter += 1
+        name = f"a{self._agg_counter}"
+        self.relations[name] = result
+        self._say(f"{name}:")
+        self._say(str(result))
+
+    def do_count(self, arg: str) -> None:
+        """count EXPR -- cardinality via one satcount pass over the
+        diagram (no tuple enumeration)."""
+        rel = self._eval(arg.strip())
+        if isinstance(rel, WeightedRelation):
+            self._say(str(rel.size()))
+        else:
+            self._say(str(rel.count()))
 
     def do_size(self, arg: str) -> None:
         """size EXPR -- number of tuples."""
@@ -367,10 +413,81 @@ class RelationalShell(cmd.Cmd):
         """list -- show all named relations."""
         for name in sorted(self.relations):
             rel = self.relations[name]
+            kind = (
+                " (weighted)" if isinstance(rel, WeightedRelation) else ""
+            )
             self._say(
                 f"{name:16s} {rel.schema!r}  {rel.size()} tuples, "
-                f"{rel.node_count()} nodes"
+                f"{rel.node_count()} nodes{kind}"
             )
+
+    def do_load_facts(self, arg: str) -> None:
+        """load-facts FILE NAME attr[:PD] ... [--header] [--skip]
+        [--delim=C] [--int=a,b] [--float=a,b] -- bulk-load CSV rows
+        into a new relation.  With --header the first line names the
+        columns (any order); --skip drops malformed rows instead of
+        failing with the line report; --int/--float convert the named
+        columns to numbers (so they can be aggregated)."""
+        parts = shlex.split(arg)
+        has_header = False
+        on_malformed = "error"
+        delimiter = ","
+        converters: Dict[str, object] = {}
+        words: List[str] = []
+        for p in parts:
+            if p == "--header":
+                has_header = True
+            elif p == "--skip":
+                on_malformed = "skip"
+            elif p.startswith("--delim="):
+                delimiter = p[len("--delim="):]
+            elif p.startswith("--int="):
+                for a in p[len("--int="):].split(","):
+                    converters[a] = int
+            elif p.startswith("--float="):
+                for a in p[len("--float="):].split(","):
+                    converters[a] = float
+            elif p.startswith("--"):
+                raise _ShellError(f"unknown flag {p!r}")
+            else:
+                words.append(p)
+        if len(words) < 3:
+            raise _ShellError(
+                "usage: load-facts FILE NAME attr[:PD] ... "
+                "[--header] [--skip] [--delim=C]"
+            )
+        u = self._need_finalized()
+        path, name = words[0], words[1]
+        if not name.isidentifier():
+            raise _ShellError(f"bad relation name {name!r}")
+        attrs: List[str] = []
+        pds: List[str] = []
+        explicit = True
+        for spec in words[2:]:
+            if ":" in spec:
+                attr, pd = spec.split(":", 1)
+                attrs.append(attr)
+                pds.append(pd)
+            else:
+                attrs.append(spec)
+                explicit = False
+        try:
+            rel = Relation.from_csv(
+                u,
+                path,
+                attrs,
+                pds if explicit else None,
+                delimiter=delimiter,
+                has_header=has_header,
+                converters=converters or None,
+                on_malformed=on_malformed,
+            )
+        except OSError as err:
+            raise _ShellError(f"cannot read {path}: {err}") from None
+        except CsvFormatError as err:
+            raise _ShellError(str(err)) from None
+        self.relations[name] = rel
+        self._say(f"{name}: loaded {rel.count()} tuple(s) from {path}")
 
     # -- persistence and service commands -------------------------------------
 
@@ -381,12 +498,26 @@ class RelationalShell(cmd.Cmd):
         if not path:
             raise _ShellError("usage: save FILE")
         u = self._need_finalized()
+        # Weighted aggregate results are derived artifacts the JDDU
+        # container cannot hold; keep the checkpoint to the relations
+        # they were computed from.
+        saveable = {
+            n: r
+            for n, r in self.relations.items()
+            if not isinstance(r, WeightedRelation)
+        }
+        skipped = len(self.relations) - len(saveable)
         try:
-            count = u.save(path, self.relations)
+            count = u.save(path, saveable)
         except OSError as err:
             raise _ShellError(f"cannot save {path}: {err}") from None
+        note = (
+            f" (skipped {skipped} weighted aggregate result(s))"
+            if skipped
+            else ""
+        )
         self._say(
-            f"saved {len(self.relations)} relation(s), {count} bytes"
+            f"saved {len(saveable)} relation(s), {count} bytes{note}"
         )
 
     def do_load(self, arg: str) -> None:
@@ -589,6 +720,13 @@ class RelationalShell(cmd.Cmd):
         return rel
 
     def _eval(self, source: str) -> Relation:
+        # A bare name bound to a weighted aggregate result is readable
+        # directly (print/count/size); only *composing* it is an error.
+        name = source.strip()
+        if name.isidentifier() and isinstance(
+            self.relations.get(name), WeightedRelation
+        ):
+            return self.relations[name]
         expr = parse_expression(source)
         return self._eval_ast(expr)
 
@@ -603,6 +741,11 @@ class RelationalShell(cmd.Cmd):
         if isinstance(expr, ast.VarRef):
             override = self._fix_override.get(id(expr))
             rel = override if override is not None else self._lookup(expr.name)
+            if isinstance(rel, WeightedRelation):
+                raise _ShellError(
+                    f"{expr.name!r} is a weighted aggregate result; "
+                    "it cannot be used as a relational operand"
+                )
             slot = f"s{counter[0]}"
             counter[0] += 1
             env[slot] = rel
@@ -649,6 +792,14 @@ class RelationalShell(cmd.Cmd):
                 else:
                     node = ir.copy(node, rep.source, rep.targets)
             return node
+        if isinstance(expr, ast.AggregateOp):
+            node = self._lower_ast(expr.operand, env, counter)
+            return ir.aggregate(
+                node,
+                expr.agg,
+                attr=expr.attr,
+                group_by=tuple(expr.group_by),
+            )
         raise _ShellError(f"cannot evaluate {type(expr).__name__}")
 
     def _eval_ast(

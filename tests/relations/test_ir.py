@@ -382,3 +382,15 @@ class TestStaticReports:
 
     def test_no_products_formats_placeholder(self):
         assert ir.format_reports([]) == "(no products to plan)"
+
+    def test_aggregate_estimated_statically(self, u):
+        # jeddc --explain walks aggregate expressions too: the group
+        # columns bound the estimate, the child product still plans.
+        child = ir.product(
+            (ir.leaf("r", ("a", "b")), ir.leaf("s", ("b", "c"))), ("b",)
+        )
+        node = ir.aggregate(child, "count", None, ("a",))
+        weight = ir.default_weight(u, static=True)
+        est, reports = ir.static_reports(node, weight, label="agg")
+        assert 0 < est.card <= weight("a")
+        assert len(reports) == 1  # the child product's plan

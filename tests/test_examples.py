@@ -45,6 +45,13 @@ def test_whole_program_analysis():
     assert "verified against the naive oracles" in result.stdout
 
 
+def test_pointsto_multiplicity():
+    result = run_example("pointsto_multiplicity.py", "javac-s")
+    assert result.returncode == 0, result.stderr
+    assert "bit-exact against the oracle" in result.stdout
+    assert "all aggregates verified against the tuple oracle." in result.stdout
+
+
 def test_domain_assignment_errors():
     result = run_example("domain_assignment_errors.py")
     assert result.returncode == 0, result.stderr
